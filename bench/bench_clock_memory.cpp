@@ -1,0 +1,48 @@
+// E4 — §6 memory claim: "all communicating processes in our system,
+// except the notifier, need to maintain a single vector of 2 elements
+// only, rather than having to maintain three full vectors of N elements
+// by every process as in early compressing techniques [9, 13]".
+#include <cstdio>
+
+#include "clocks/compressed_sv.hpp"
+#include "clocks/matrix_clock.hpp"
+#include "clocks/sk_clock.hpp"
+#include "clocks/version_vector.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ccvc;
+
+}  // namespace
+
+int main() {
+  std::puts("== E4: resident clock state per process (bytes) ==\n");
+  util::TextTable t({"N sites", "compressed client", "compressed notifier",
+                     "full-VC site", "SK site (3 vectors)",
+                     "matrix-clock site (N^2)", "SK total all sites",
+                     "compressed total all sites"});
+  for (const std::size_t n : {4u, 16u, 64u, 256u, 1024u}) {
+    const std::size_t client = sizeof(clocks::CompressedSv);  // 2 ints
+    const std::size_t notifier = (n + 1) * sizeof(std::uint64_t);
+    const std::size_t full_site = (n + 1) * sizeof(std::uint64_t);
+    const clocks::SkProcess sk(0, n + 1);
+    const std::size_t sk_site = sk.memory_bytes();
+    const clocks::MatrixClock mx(0, n + 1);
+    const std::size_t mx_site = mx.memory_bytes();
+
+    t.add_row({std::to_string(n), std::to_string(client),
+               std::to_string(notifier), std::to_string(full_site),
+               std::to_string(sk_site), std::to_string(mx_site),
+               std::to_string(sk_site * n),
+               std::to_string(client * n + notifier)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::puts(
+      "\nshape check: compressed clients are O(1); only the single\n"
+      "notifier pays O(N).  SK pays 3·O(N) at *every* site; matrix\n"
+      "clocks (stability detection for decentralized log GC) pay O(N^2)\n"
+      "— the star's acknowledgement counters provide stability for the\n"
+      "price of one O(N) vector at the center.");
+  return 0;
+}

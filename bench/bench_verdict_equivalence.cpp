@@ -1,0 +1,48 @@
+// E6 — concurrency-detection accuracy at scale: every verdict of the
+// compressed scheme checked against the independent causality oracle,
+// across N, latency regimes, and seeds.  The paper's correctness claim
+// (§4-§5) corresponds to a 0 mismatch count in every row.
+#include <cstdio>
+
+#include "sim/runner.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ccvc;
+
+}  // namespace
+
+int main() {
+  std::puts("== E6: compressed-scheme verdicts vs causality oracle ==\n");
+  util::TextTable t({"N sites", "latency", "ops", "verdicts", "concurrent",
+                     "mismatches", "converged"});
+  for (const std::size_t n : {2u, 4u, 8u, 16u}) {
+    for (const double median : {15.0, 60.0, 240.0}) {
+      engine::StarSessionConfig cfg;
+      cfg.num_sites = n;
+      cfg.initial_doc = "shared state under test";
+      cfg.uplink = net::LatencyModel::lognormal(median, 0.6, median / 3.0);
+      cfg.downlink = net::LatencyModel::lognormal(median, 0.6, median / 3.0);
+      cfg.seed = n * 100 + static_cast<std::uint64_t>(median);
+
+      sim::WorkloadConfig w;
+      w.ops_per_site = 40;
+      w.mean_think_ms = 30.0;
+      w.hotspot_prob = 0.4;
+      w.seed = cfg.seed + 1;
+
+      const auto r = sim::run_star(cfg, w);
+      t.add_row({std::to_string(n),
+                 util::TextTable::num(median, 0) + "ms",
+                 std::to_string(r.ops_generated), std::to_string(r.verdicts),
+                 std::to_string(r.concurrent_verdicts),
+                 std::to_string(r.verdict_mismatches),
+                 r.converged ? "yes" : "NO"});
+    }
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::puts("\nshape check: mismatches must be 0 in every row; the\n"
+            "concurrent-verdict count rises with latency (more overlap).");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Interactive overhead demo: for a session size N of your choice, shows
+// what one operation's timestamp costs on the wire under each scheme —
+// the paper's core argument in one table.
+//
+// Usage: overhead_demo [N]
+#include <cstdio>
+#include <cstdlib>
+
+#include "clocks/compressed_sv.hpp"
+#include "clocks/sk_clock.hpp"
+#include "clocks/version_vector.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/varint.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ccvc;
+
+  const std::size_t n =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 64;
+  std::printf("timestamp cost for one message in an N = %zu site session\n\n",
+              n);
+
+  // A mid-session clock state: every site has issued some operations.
+  util::Rng rng(7);
+  clocks::VersionVector full(n + 1);
+  for (SiteId i = 1; i <= n; ++i) {
+    const auto ops = 1 + rng.below(50);
+    for (std::uint64_t k = 0; k < ops; ++k) full.tick(i);
+  }
+
+  // Compressed: two integers, whatever N is.
+  const clocks::CompressedSv compressed{full.sum_except(1), full[1]};
+
+  // SK: worst case resends every component; typical case here assumes a
+  // quarter of the components changed since the last exchange.
+  clocks::SkTimestamp sk_worst, sk_typical;
+  for (SiteId i = 1; i <= n; ++i) {
+    sk_worst.push_back({i, full[i]});
+    if (i % 4 == 0) sk_typical.push_back({i, full[i]});
+  }
+
+  util::TextTable t({"scheme", "elements", "wire bytes", "growth"});
+  t.add_row({"compressed state vector (this paper)", "2",
+             std::to_string(compressed.encoded_size()), "O(1)"});
+  t.add_row({"full vector clock", std::to_string(n + 1),
+             std::to_string(full.encoded_size()), "O(N)"});
+  t.add_row({"SK diff, typical (25% changed)",
+             std::to_string(sk_typical.size()),
+             std::to_string(clocks::sk_encoded_size(sk_typical)),
+             "O(changes)"});
+  t.add_row({"SK diff, worst case", std::to_string(sk_worst.size()),
+             std::to_string(clocks::sk_encoded_size(sk_worst)), "O(N)"});
+  std::fputs(t.render().c_str(), stdout);
+
+  std::printf(
+      "\nper-site clock memory: compressed client %zu B, notifier %zu B,\n"
+      "full-VC site %zu B, SK site %zu B (three N-vectors).\n",
+      sizeof(clocks::CompressedSv), (n + 1) * sizeof(std::uint64_t),
+      (n + 1) * sizeof(std::uint64_t), 3 * (n + 1) * sizeof(std::uint64_t));
+  return 0;
+}

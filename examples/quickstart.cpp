@@ -1,0 +1,51 @@
+// Quickstart: the paper's §2.2 example on the public API.
+//
+// Three users share the document "ABCDE" through a star-topology session
+// (notifier + compressed 2-element vector clocks).  User 1 inserts "12"
+// at position 1 while user 2 concurrently deletes "CDE" — the classic
+// divergence/intention-violation scenario that operational
+// transformation resolves to "A12B" at every replica.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "engine/session.hpp"
+
+int main() {
+  using namespace ccvc;
+
+  engine::StarSessionConfig cfg;
+  cfg.num_sites = 3;
+  cfg.initial_doc = "ABCDE";
+  // Simulated Internet links: ~40 ms heavy-tailed one-way latency.
+  cfg.uplink = net::LatencyModel::lognormal(40.0, 0.5, 10.0);
+  cfg.downlink = net::LatencyModel::lognormal(40.0, 0.5, 10.0);
+
+  engine::StarSession session(cfg);
+
+  // Concurrent edits: both users act before either hears of the other.
+  session.client(1).insert(1, "12");  // O1 = Insert["12", 1]
+  session.client(2).erase(2, 3);      // O2 = Delete[3, 2]
+
+  std::printf("user 1 sees immediately: %s\n", session.client(1).text().c_str());
+  std::printf("user 2 sees immediately: %s\n", session.client(2).text().c_str());
+
+  // Let the simulated network deliver and the engine transform.
+  session.run_to_quiescence();
+
+  std::printf("\nafter propagation:\n");
+  std::printf("  notifier: %s\n", session.notifier().text().c_str());
+  for (SiteId i = 1; i <= 3; ++i) {
+    std::printf("  user %u:   %s\n", i, session.client(i).text().c_str());
+  }
+  std::printf("\nconverged: %s (intention-preserved result is \"A12B\")\n",
+              session.converged() ? "yes" : "NO");
+
+  // The whole session ran on 2-integer timestamps:
+  std::printf("user 1's state vector: %s   (constant size, any N)\n",
+              session.client(1).state_vector().str().c_str());
+  return session.converged() &&
+                 session.notifier().text() == "A12B"
+             ? 0
+             : 1;
+}

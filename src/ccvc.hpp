@@ -1,0 +1,57 @@
+// Umbrella header: the library's public API in one include.
+//
+//   #include "ccvc.hpp"
+//
+//   ccvc::engine::StarSessionConfig cfg;
+//   cfg.num_sites = 3;
+//   cfg.initial_doc = "ABCDE";
+//   ccvc::engine::StarSession session(cfg);
+//   session.client(1).insert(1, "12");
+//   session.client(2).erase(2, 3);
+//   session.run_to_quiescence();
+//   // session.converged() && session.notifier().text() == "A12B"
+//
+// Layer map (bottom-up):
+//   ccvc::util    — rng, varint codec, stats, tables
+//   ccvc::clocks  — version vectors, SK diffs, FZ dependency logs, and
+//                   the paper's compressed state vectors + formulas
+//   ccvc::ot      — text operations, inclusion/exclusion transformation
+//   ccvc::doc     — gap-buffer documents
+//   ccvc::net     — deterministic FIFO network simulator
+//   ccvc::engine  — client/notifier sites, sessions, GOT, checkpoints
+//   ccvc::sim     — oracle, workloads, scenario scripts, runners
+#pragma once
+
+#include "clocks/compressed_sv.hpp"
+#include "clocks/dependency_log.hpp"
+#include "clocks/sk_clock.hpp"
+#include "clocks/version_vector.hpp"
+#include "doc/document.hpp"
+#include "doc/gap_buffer.hpp"
+#include "engine/client_site.hpp"
+#include "engine/config.hpp"
+#include "engine/got.hpp"
+#include "engine/history.hpp"
+#include "engine/mesh_site.hpp"
+#include "engine/message.hpp"
+#include "engine/notifier_site.hpp"
+#include "engine/observer.hpp"
+#include "engine/session.hpp"
+#include "engine/snapshot.hpp"
+#include "net/channel.hpp"
+#include "net/event_queue.hpp"
+#include "net/latency.hpp"
+#include "ot/text_op.hpp"
+#include "ot/transform.hpp"
+#include "sim/observers.hpp"
+#include "sim/oracle.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
+#include "sim/script.hpp"
+#include "sim/workload.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/types.hpp"
+#include "util/varint.hpp"

@@ -1,0 +1,86 @@
+#include "clocks/dependency_log.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ccvc::clocks {
+
+DependencyTracker::DependencyTracker(std::size_t num_procs)
+    : logs_(num_procs) {
+  CCVC_CHECK(num_procs >= 1);
+}
+
+EventId DependencyTracker::local_event(SiteId p) {
+  CCVC_CHECK(p < logs_.size());
+  logs_[p].push_back(Event{});
+  return EventId{p, logs_[p].size()};
+}
+
+EventId DependencyTracker::receive_event(SiteId p, EventId from) {
+  CCVC_CHECK(p < logs_.size());
+  CCVC_CHECK_MSG(from.site < logs_.size() &&
+                     from.index >= 1 &&
+                     from.index <= logs_[from.site].size(),
+                 "receive references an unknown send event");
+  logs_[p].push_back(Event{from});
+  return EventId{p, logs_[p].size()};
+}
+
+std::size_t DependencyTracker::log_size() const {
+  std::size_t n = 0;
+  for (const auto& log : logs_) n += log.size();
+  return n;
+}
+
+const DependencyTracker::Event& DependencyTracker::event(EventId e) const {
+  CCVC_CHECK(e.site < logs_.size());
+  CCVC_CHECK(e.index >= 1 && e.index <= logs_[e.site].size());
+  return logs_[e.site][e.index - 1];
+}
+
+VersionVector DependencyTracker::reconstruct(EventId e) const {
+  // Work-list traversal over direct dependencies.  Per process we only
+  // ever need the highest reached index: everything below it on the
+  // same process is in the history via the implicit local predecessor
+  // chain, so we expand each process's frontier downward once.
+  VersionVector vt(logs_.size());
+  std::vector<std::uint64_t> reached(logs_.size(), 0);   // max index known
+  std::vector<std::uint64_t> expanded(logs_.size(), 0);  // scanned down to
+
+  reached[e.site] = e.index;
+  std::vector<SiteId> work{e.site};
+  while (!work.empty()) {
+    const SiteId p = work.back();
+    work.pop_back();
+    // Scan the not-yet-visited suffix [expanded[p]+1 .. reached[p]] of
+    // p's log for remote dependencies.
+    const std::uint64_t hi = reached[p];
+    std::uint64_t lo = expanded[p];
+    expanded[p] = std::max(expanded[p], hi);
+    for (std::uint64_t i = lo + 1; i <= hi; ++i) {
+      const auto& dep = logs_[p][i - 1].remote_dep;
+      if (!dep) continue;
+      if (dep->index > reached[dep->site]) {
+        reached[dep->site] = dep->index;
+        if (reached[dep->site] > expanded[dep->site]) work.push_back(dep->site);
+      }
+    }
+  }
+
+  for (SiteId p = 0; p < logs_.size(); ++p) {
+    vt.merge_component(p, reached[p]);
+  }
+  return vt;
+}
+
+bool DependencyTracker::happened_before(EventId a, EventId b) const {
+  if (a == b) return false;
+  const VersionVector history_of_b = reconstruct(b);
+  // a is in b's history iff b's history contains at least a.index events
+  // of a's process — except that b itself is not its own predecessor.
+  if (a.site == b.site) return a.index < b.index;
+  return history_of_b[a.site] >= a.index;
+}
+
+}  // namespace ccvc::clocks

@@ -1,0 +1,36 @@
+// Lamport scalar clocks ("Time, clocks, and the ordering of events in a
+// distributed system", CACM 1978) — reference [8], which the paper uses
+// for its *definition* of causality but not for detection.
+//
+// The scalar clock is the cheapest timestamp of all (1 integer), and it
+// is consistent with causality: a → b ⟹ C(a) < C(b).  What it cannot
+// do — the reason group editors need vectors at all — is *detect*
+// concurrency: C(a) < C(b) says nothing about a → b.  The test suite
+// demonstrates the limitation concretely; the paper's contribution is
+// getting concurrency detection at near-scalar cost (2 integers).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace ccvc::clocks {
+
+class LamportClock {
+ public:
+  /// Records a local or send event and returns the timestamp to attach.
+  std::uint64_t tick() { return ++counter_; }
+
+  /// Records a receive event carrying `stamp`.
+  void on_receive(std::uint64_t stamp) {
+    counter_ = std::max(counter_, stamp) + 1;
+  }
+
+  std::uint64_t now() const { return counter_; }
+
+ private:
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace ccvc::clocks

@@ -1,0 +1,49 @@
+#include "clocks/matrix_clock.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ccvc::clocks {
+
+MatrixClock::MatrixClock(SiteId self, std::size_t num_procs)
+    : self_(self), rows_(num_procs, VersionVector(num_procs)) {
+  CCVC_CHECK(self < num_procs);
+}
+
+void MatrixClock::on_local_event() { rows_[self_].tick(self_); }
+
+const std::vector<VersionVector>& MatrixClock::prepare_send() {
+  on_local_event();
+  return rows_;
+}
+
+void MatrixClock::on_receive(SiteId from,
+                             const std::vector<VersionVector>& matrix) {
+  CCVC_CHECK(from < rows_.size() && from != self_);
+  CCVC_CHECK_MSG(matrix.size() == rows_.size(),
+                 "matrix width mismatch");
+  on_local_event();
+  // Everything the sender knew, we now know...
+  rows_[self_].merge(matrix[from]);
+  // ...and everything it knew about everyone else's knowledge, too.
+  for (SiteId i = 0; i < rows_.size(); ++i) {
+    rows_[i].merge(matrix[i]);
+  }
+}
+
+const VersionVector& MatrixClock::row(SiteId i) const {
+  CCVC_CHECK(i < rows_.size());
+  return rows_[i];
+}
+
+std::uint64_t MatrixClock::stable_index(SiteId proc) const {
+  CCVC_CHECK(proc < rows_.size());
+  std::uint64_t lo = rows_[0][proc];
+  for (SiteId i = 1; i < rows_.size(); ++i) {
+    lo = std::min(lo, rows_[i][proc]);
+  }
+  return lo;
+}
+
+}  // namespace ccvc::clocks

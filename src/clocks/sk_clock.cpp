@@ -1,0 +1,82 @@
+#include "clocks/sk_clock.hpp"
+
+#include "util/check.hpp"
+
+namespace ccvc::clocks {
+
+void encode_sk(const SkTimestamp& ts, util::ByteSink& sink) {
+  sink.put_uvarint(ts.size());
+  for (const auto& e : ts) {
+    sink.put_uvarint(e.site);
+    sink.put_uvarint(e.value);
+  }
+}
+
+SkTimestamp decode_sk(util::ByteSource& src) {
+  const std::uint64_t n = src.get_uvarint();
+  if (n > src.remaining()) {
+    // Two varints per entry, at least one byte each — a larger claim is
+    // malformed; fail before allocating.
+    throw util::DecodeError("SK timestamp length exceeds message");
+  }
+  SkTimestamp ts;
+  ts.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SkEntry e;
+    e.site = static_cast<SiteId>(src.get_uvarint());
+    e.value = src.get_uvarint();
+    ts.push_back(e);
+  }
+  return ts;
+}
+
+std::size_t sk_encoded_size(const SkTimestamp& ts) {
+  std::size_t n = util::uvarint_size(ts.size());
+  for (const auto& e : ts) {
+    n += util::uvarint_size(e.site) + util::uvarint_size(e.value);
+  }
+  return n;
+}
+
+SkProcess::SkProcess(SiteId self, std::size_t num_slots)
+    : self_(self),
+      v_(num_slots),
+      last_sent_(num_slots, 0),
+      last_update_(num_slots, 0) {
+  CCVC_CHECK(self < num_slots);
+}
+
+void SkProcess::tick() {
+  v_.tick(self_);
+  last_update_[self_] = v_[self_];
+}
+
+SkTimestamp SkProcess::prepare_send(SiteId dest) {
+  CCVC_CHECK(dest < v_.size());
+  CCVC_CHECK_MSG(dest != self_, "a process does not message itself");
+  tick();  // the send is itself an event
+  SkTimestamp ts;
+  for (SiteId k = 0; k < v_.size(); ++k) {
+    if (last_update_[k] > last_sent_[dest]) {
+      ts.push_back(SkEntry{k, v_[k]});
+    }
+  }
+  last_sent_[dest] = v_[self_];
+  return ts;
+}
+
+void SkProcess::on_receive(const SkTimestamp& ts) {
+  tick();  // the receive is itself an event
+  for (const auto& e : ts) {
+    CCVC_CHECK(e.site < v_.size());
+    if (v_.merge_component(e.site, e.value)) {
+      last_update_[e.site] = v_[self_];
+    }
+  }
+}
+
+std::size_t SkProcess::memory_bytes() const {
+  return 3 * v_.size() * sizeof(std::uint64_t);
+}
+
+}  // namespace ccvc::clocks

@@ -1,0 +1,114 @@
+#include "clocks/version_vector.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ccvc::clocks {
+
+const char* to_string(Order o) {
+  switch (o) {
+    case Order::kEqual:
+      return "equal";
+    case Order::kBefore:
+      return "before";
+    case Order::kAfter:
+      return "after";
+    case Order::kConcurrent:
+      return "concurrent";
+  }
+  return "?";
+}
+
+void VersionVector::tick(SiteId site) {
+  CCVC_CHECK(site < v_.size());
+  ++v_[site];
+}
+
+void VersionVector::merge(const VersionVector& other) {
+  CCVC_CHECK_MSG(other.size() == size(), "merging clocks of different width");
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (other.v_[i] > v_[i]) v_[i] = other.v_[i];
+  }
+}
+
+bool VersionVector::merge_component(SiteId site, std::uint64_t value) {
+  CCVC_CHECK(site < v_.size());
+  if (value <= v_[site]) return false;
+  v_[site] = value;
+  return true;
+}
+
+void VersionVector::grow(std::size_t new_size) {
+  CCVC_CHECK_MSG(new_size >= v_.size(), "clocks never shrink");
+  v_.resize(new_size, 0);
+}
+
+std::uint64_t VersionVector::sum() const {
+  std::uint64_t s = 0;
+  for (auto x : v_) s += x;
+  return s;
+}
+
+std::uint64_t VersionVector::sum_except(SiteId site) const {
+  CCVC_CHECK(site < v_.size());
+  return sum() - v_[site];
+}
+
+Order VersionVector::compare(const VersionVector& other) const {
+  CCVC_CHECK_MSG(other.size() == size(), "comparing clocks of different width");
+  bool less = false;   // some component strictly smaller
+  bool greater = false;
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (v_[i] < other.v_[i]) less = true;
+    if (v_[i] > other.v_[i]) greater = true;
+  }
+  if (less && greater) return Order::kConcurrent;
+  if (less) return Order::kBefore;
+  if (greater) return Order::kAfter;
+  return Order::kEqual;
+}
+
+bool VersionVector::concurrent_by_origin(const VersionVector& ta, SiteId x,
+                                         const VersionVector& tb, SiteId y) {
+  CCVC_CHECK(ta.size() == tb.size());
+  CCVC_CHECK(x < ta.size() && y < ta.size());
+  return ta[x] > tb[x] && tb[y] > ta[y];
+}
+
+void VersionVector::encode(util::ByteSink& sink) const {
+  sink.put_uvarint(v_.size());
+  for (auto x : v_) sink.put_uvarint(x);
+}
+
+VersionVector VersionVector::decode(util::ByteSource& src) {
+  const std::uint64_t n = src.get_uvarint();
+  if (n > src.remaining()) {
+    // Each component costs at least one byte; anything larger is a
+    // malformed (or hostile) length claim — fail before allocating.
+    throw util::DecodeError("vector clock length exceeds message");
+  }
+  std::vector<std::uint64_t> values;
+  values.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) values.push_back(src.get_uvarint());
+  return VersionVector(std::move(values));
+}
+
+std::size_t VersionVector::encoded_size() const {
+  std::size_t n = util::uvarint_size(v_.size());
+  for (auto x : v_) n += util::uvarint_size(x);
+  return n;
+}
+
+std::string VersionVector::str() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (i) os << ',';
+    os << v_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace ccvc::clocks

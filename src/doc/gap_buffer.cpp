@@ -1,0 +1,82 @@
+#include "doc/gap_buffer.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace ccvc::doc {
+
+namespace {
+constexpr std::size_t kInitialGap = 64;
+}
+
+GapBuffer::GapBuffer() : buf_(kInitialGap, '\0'), gap_start_(0), gap_end_(kInitialGap) {}
+
+GapBuffer::GapBuffer(std::string_view initial) : GapBuffer() {
+  insert(0, initial);
+}
+
+char GapBuffer::at(std::size_t pos) const {
+  CCVC_CHECK_MSG(pos < size(), "GapBuffer::at out of range");
+  return buf_[pos < gap_start_ ? pos : pos + (gap_end_ - gap_start_)];
+}
+
+void GapBuffer::move_gap_to(std::size_t pos) {
+  CCVC_DCHECK(pos <= size());
+  if (pos == gap_start_) return;
+  const std::size_t gap_len = gap_end_ - gap_start_;
+  if (pos < gap_start_) {
+    // Shift [pos, gap_start_) right by gap_len.
+    const std::size_t n = gap_start_ - pos;
+    std::memmove(&buf_[pos + gap_len], &buf_[pos], n);
+  } else {
+    // Shift [gap_end_, pos + gap_len) left by gap_len.
+    const std::size_t n = pos - gap_start_;
+    std::memmove(&buf_[gap_start_], &buf_[gap_end_], n);
+  }
+  gap_start_ = pos;
+  gap_end_ = pos + gap_len;
+}
+
+void GapBuffer::grow_gap(std::size_t need) {
+  const std::size_t gap_len = gap_end_ - gap_start_;
+  if (gap_len >= need) return;
+  const std::size_t old_size = size();
+  const std::size_t new_gap = std::max(need, old_size + kInitialGap);
+  std::string nb(old_size + new_gap, '\0');
+  // Copy text around the gap into the new buffer, gap at gap_start_.
+  std::memcpy(&nb[0], buf_.data(), gap_start_);
+  const std::size_t tail = buf_.size() - gap_end_;
+  std::memcpy(&nb[gap_start_ + new_gap], &buf_[gap_end_], tail);
+  buf_ = std::move(nb);
+  gap_end_ = gap_start_ + new_gap;
+}
+
+void GapBuffer::insert(std::size_t pos, std::string_view s) {
+  CCVC_CHECK_MSG(pos <= size(), "GapBuffer::insert out of range");
+  if (s.empty()) return;
+  move_gap_to(pos);
+  grow_gap(s.size());
+  std::memcpy(&buf_[gap_start_], s.data(), s.size());
+  gap_start_ += s.size();
+}
+
+std::string GapBuffer::erase(std::size_t pos, std::size_t n) {
+  CCVC_CHECK_MSG(pos + n <= size(), "GapBuffer::erase out of range");
+  move_gap_to(pos);
+  std::string removed(&buf_[gap_end_], n);
+  gap_end_ += n;
+  return removed;
+}
+
+std::string GapBuffer::substr(std::size_t pos, std::size_t n) const {
+  if (pos >= size()) return {};
+  n = std::min(n, size() - pos);
+  std::string out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(at(pos + i));
+  return out;
+}
+
+}  // namespace ccvc::doc

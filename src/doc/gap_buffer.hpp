@@ -1,0 +1,50 @@
+// Gap buffer — the replicated-document storage (§2: every collaborating
+// site and the notifier keep a full copy of the shared document).
+//
+// A gap buffer keeps one movable hole in a contiguous array, so the
+// hot-path editing pattern of group editors (runs of inserts/deletes at
+// or near one cursor) costs O(1) amortized per character instead of the
+// O(n) of a plain string.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace ccvc::doc {
+
+class GapBuffer {
+ public:
+  GapBuffer();
+  explicit GapBuffer(std::string_view initial);
+
+  /// Number of characters stored (gap excluded).
+  std::size_t size() const { return buf_.size() - (gap_end_ - gap_start_); }
+  bool empty() const { return size() == 0; }
+
+  /// Character at logical position `pos` (< size()).
+  char at(std::size_t pos) const;
+
+  /// Inserts `s` before logical position `pos` (≤ size()).
+  void insert(std::size_t pos, std::string_view s);
+
+  /// Removes `n` characters starting at `pos` and returns them.
+  /// Requires pos + n ≤ size().
+  std::string erase(std::size_t pos, std::size_t n);
+
+  /// Copy of `n` characters starting at `pos` (clamped to the end).
+  std::string substr(std::size_t pos, std::size_t n) const;
+
+  /// Full contents as a string.
+  std::string str() const { return substr(0, size()); }
+
+ private:
+  void move_gap_to(std::size_t pos);
+  void grow_gap(std::size_t need);
+
+  std::string buf_;        // raw storage including the gap
+  std::size_t gap_start_;  // first index of the gap
+  std::size_t gap_end_;    // one past the last index of the gap
+};
+
+}  // namespace ccvc::doc

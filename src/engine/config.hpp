@@ -1,0 +1,40 @@
+// Engine-wide behaviour switches shared by client and notifier sites.
+#pragma once
+
+#include "engine/message.hpp"
+
+namespace ccvc::engine {
+
+struct EngineConfig {
+  /// What rides on the wire and which concurrency formulas run.
+  StampMode stamp_mode = StampMode::kCompressed;
+
+  /// E8 ablation: when false the notifier propagates operations "as-is"
+  /// (§6) and no site transforms — causality stays N-dimensional and the
+  /// compressed checks become unsound.  Documents are then applied in
+  /// clamped mode, reproducing Fig. 2's stale-position executions.
+  bool transform = true;
+
+  /// Run the paper's concurrency checks over the history buffer for
+  /// every incoming operation and report each verdict to the observer.
+  /// The transformation control itself does not need them (it selects by
+  /// counting), so benches can turn this off to measure control cost
+  /// alone.
+  bool log_verdicts = true;
+
+  /// When both transform and log_verdicts are on, assert that the set of
+  /// operations the formulas deem concurrent is exactly the set the
+  /// control transforms against — the built-in fidelity check tying §4's
+  /// checking scheme to the executable control algorithm.
+  bool check_fidelity = true;
+
+  /// Garbage-collect history buffers (the paper leaves HBs unbounded;
+  /// REDUCE's deployed system collected them).  An entry is dropped once
+  /// the site's acknowledgement state proves no future incoming
+  /// operation can be concurrent with it, so verdict streams over *live*
+  /// entries are unchanged.  Off by default to keep the paper-faithful
+  /// unbounded behaviour (and full traces) in tests that inspect HBs.
+  bool gc_history = false;
+};
+
+}  // namespace ccvc::engine

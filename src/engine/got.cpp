@@ -1,0 +1,58 @@
+#include "engine/got.hpp"
+
+#include "ot/transform.hpp"
+#include "util/check.hpp"
+
+namespace ccvc::engine {
+
+std::optional<ot::OpList> got_transform(const std::vector<GotHbItem>& hb,
+                                        const ot::OpList& o) {
+  // Step 1: first concurrent entry.
+  std::size_t c1 = hb.size();
+  for (std::size_t i = 0; i < hb.size(); ++i) {
+    if (hb[i].concurrent) {
+      c1 = i;
+      break;
+    }
+  }
+  if (c1 == hb.size()) {
+    // Everything executed is in O's context: execute as-is (§2.3).
+    return o;
+  }
+
+  try {
+    // Step 2: convert the causally-preceding suffix members into the
+    // HB[0..c1) context.
+    std::vector<ot::OpList> converted;  // sequential chain on HB[0..c1)
+    for (std::size_t k = c1; k < hb.size(); ++k) {
+      if (hb[k].concurrent) continue;
+      ot::OpList form = hb[k].executed;
+      // Exclude everything before it in the suffix (closest layer
+      // first).
+      for (std::size_t j = k; j-- > c1;) {
+        form = ot::exclude_list(form, hb[j].executed);
+      }
+      // Re-include the already-converted causal chain.
+      for (const auto& prior : converted) {
+        form = ot::include_list(form, prior);
+      }
+      converted.push_back(std::move(form));
+    }
+
+    // Step 3: strip the converted causal chain from O...
+    ot::OpList out = o;
+    for (auto it = converted.rbegin(); it != converted.rend(); ++it) {
+      out = ot::exclude_list(out, *it);
+    }
+    // ...and include the whole executed suffix.
+    for (std::size_t k = c1; k < hb.size(); ++k) {
+      out = ot::include_list(out, hb[k].executed);
+    }
+    return out;
+  } catch (const ContractViolation&) {
+    // An exclusion was undefined — GOT's documented partiality.
+    return std::nullopt;
+  }
+}
+
+}  // namespace ccvc::engine

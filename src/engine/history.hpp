@@ -1,0 +1,43 @@
+// History-buffer entry types (§2.3: "every site needs to maintain a
+// History Buffer (HB) for saving executed operations").
+//
+// Client entries carry the 2-element propagation timestamp they arrived
+// or were generated with (§3.3 "a buffered operation is timestamped with
+// its original 2-element propagation timestamp"); notifier entries carry
+// the full N-element state vector at execution time (§3.3 "timestamped
+// with the current N-element state vector value"), plus its cached
+// component sum so formula (7) runs in O(1).
+#pragma once
+
+#include <vector>
+
+#include "clocks/compressed_sv.hpp"
+#include "clocks/version_vector.hpp"
+#include "ot/text_op.hpp"
+#include "util/types.hpp"
+
+namespace ccvc::engine {
+
+struct ClientHbEntry {
+  OpId id;
+  clocks::HbSource source = clocks::HbSource::kLocal;
+  clocks::CompressedSv stamp;     // always maintained
+  clocks::VersionVector full;     // populated in kFullVector mode only
+  ot::OpList executed;            // the form applied to the local document
+
+  friend bool operator==(const ClientHbEntry&, const ClientHbEntry&) =
+      default;
+};
+
+struct NotifierHbEntry {
+  OpId id;
+  SiteId origin = 0;
+  clocks::VersionVector stamp;    // full SV_0 value after execution
+  std::uint64_t stamp_sum = 0;    // Σ_j stamp[j], cached for O(1) checks
+  ot::OpList executed;            // transformed form O' (server context)
+
+  friend bool operator==(const NotifierHbEntry&, const NotifierHbEntry&) =
+      default;
+};
+
+}  // namespace ccvc::engine

@@ -1,0 +1,111 @@
+// Fully-distributed (full-mesh) baseline — the architecture of GROVE and
+// the original stand-alone REDUCE (§2.1), where "all collaborating sites
+// communicate with each other directly" and causality is captured with
+// full N-element vector clocks (§3.1).
+//
+// Two stamping variants:
+//  * kFullVector — classic vector-clock causal broadcast: every message
+//    carries the full clock; receivers buffer messages until causally
+//    ready (Birman-style delivery condition).  This is the "most group
+//    editors" baseline of E3/E4 and the ground for the causal-delivery
+//    property tests.
+//  * kSkDiff — the Singhal–Kshemkalyani differential compression [13]:
+//    each pairwise message carries only the components updated since the
+//    last message on that pair.  SK maintains clocks, not delivery
+//    order; this variant exists to measure its wire cost (E3) and its
+//    three-vectors-per-process memory (E4) against the paper's constant
+//    two integers.
+//
+// The mesh baseline is a *clock-layer* system: it measures timestamp
+// traffic and causality capture.  Decentralized OT convergence (GOT and
+// its descendants) is out of scope of the reproduced paper, whose whole
+// point is that the star + transformation make the 2-element clock
+// sufficient.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "clocks/sk_clock.hpp"
+#include "clocks/version_vector.hpp"
+#include "engine/observer.hpp"
+#include "net/channel.hpp"
+#include "ot/text_op.hpp"
+#include "util/types.hpp"
+
+namespace ccvc::engine {
+
+enum class MeshStamp : std::uint8_t {
+  kFullVector,
+  kSkDiff,
+};
+
+const char* to_string(MeshStamp m);
+
+struct MeshMsg {
+  OpId id;
+  ot::OpList ops;
+  clocks::VersionVector full;  // kFullVector
+  clocks::SkTimestamp sk;      // kSkDiff
+};
+
+net::Payload encode(const MeshMsg& msg, MeshStamp mode);
+MeshMsg decode_mesh_msg(const net::Payload& bytes, MeshStamp mode);
+
+class MeshSite {
+ public:
+  using SendFn = std::function<void(SiteId dest, net::Payload bytes)>;
+
+  /// `id` in 1..num_sites; slot 0 of all vectors is unused, matching the
+  /// paper's site numbering.
+  MeshSite(SiteId id, std::size_t num_sites, MeshStamp mode, SendFn send,
+           EngineObserver* observer = nullptr);
+
+  /// Generates an operation, delivers it locally, and broadcasts it to
+  /// every peer.  Returns its id.
+  OpId broadcast(ot::OpList ops);
+
+  /// Handles one message from peer `from`.
+  void on_message(SiteId from, const net::Payload& bytes);
+
+  SiteId id() const { return id_; }
+
+  /// The site's current (reconstructed) vector clock.
+  const clocks::VersionVector& clock() const;
+
+  /// Ids in local delivery order (includes own ops).
+  const std::vector<OpId>& delivery_log() const { return delivered_; }
+
+  /// Messages held back waiting for causal predecessors (kFullVector).
+  std::size_t held_count() const { return held_.size(); }
+
+  /// Resident clock-state bytes: one (N+1)-vector for kFullVector, three
+  /// for kSkDiff — the memory side of E4.
+  std::size_t clock_memory_bytes() const;
+
+ private:
+  void try_deliver_held();
+  bool ready(const clocks::VersionVector& stamp, SiteId from) const;
+  void deliver(const MeshMsg& msg, SiteId from);
+
+  SiteId id_;
+  std::size_t num_sites_;
+  MeshStamp mode_;
+  SendFn send_;
+  EngineObserver* observer_;
+
+  clocks::VersionVector vc_;            // kFullVector protocol clock
+  std::optional<clocks::SkProcess> sk_; // kSkDiff protocol state
+  std::uint64_t own_seq_ = 0;
+
+  struct Held {
+    SiteId from;
+    MeshMsg msg;
+  };
+  std::vector<Held> held_;
+  std::vector<OpId> delivered_;
+};
+
+}  // namespace ccvc::engine

@@ -1,0 +1,75 @@
+// Wire messages of the star protocol and their codecs.
+//
+// Two message types flow through the star:
+//   ClientMsg — site i -> notifier: an original operation stamped with
+//               the client's 2-element state vector (§3.3).
+//   CenterMsg — notifier -> site i: a transformed operation stamped with
+//               the per-destination compressed vector of eq. (1)-(2).
+//
+// StampMode selects what rides on the wire: the paper's 2-integer
+// compressed vector, or the full (N+1)-element vector clock of the
+// pre-compression baseline ("most group editors have used a full vector
+// clock of N elements", §3.1).  Experiment E3 compares the resulting
+// byte counts directly off the channel statistics.
+#pragma once
+
+#include <cstdint>
+
+#include "clocks/compressed_sv.hpp"
+#include "clocks/version_vector.hpp"
+#include "net/channel.hpp"
+#include "ot/text_op.hpp"
+#include "util/types.hpp"
+
+namespace ccvc::engine {
+
+enum class StampMode : std::uint8_t {
+  kCompressed,  ///< the paper's 2-element compressed state vector
+  kFullVector,  ///< baseline: full (N+1)-element vector clock
+};
+
+const char* to_string(StampMode m);
+
+/// Timestamp attached to a message.  Exactly one representation is
+/// populated, according to the session's StampMode.
+struct Stamp {
+  clocks::CompressedSv csv;     // kCompressed
+  clocks::VersionVector full;   // kFullVector (empty otherwise)
+};
+
+struct ClientMsg {
+  OpId id;          // id.site is the originating client
+  ot::OpList ops;   // the operation in the client's generation context
+  Stamp stamp;
+};
+
+struct CenterMsg {
+  OpId id;          // id of the original op this O' was derived from
+  ot::OpList ops;   // transformed form for this destination
+  Stamp stamp;
+};
+
+net::Payload encode(const ClientMsg& msg, StampMode mode);
+net::Payload encode(const CenterMsg& msg, StampMode mode);
+
+ClientMsg decode_client_msg(const net::Payload& bytes, StampMode mode);
+CenterMsg decode_center_msg(const net::Payload& bytes, StampMode mode);
+
+/// Departure is an in-band control message on the FIFO uplink — like a
+/// TCP close, it arrives *after* everything the site sent before
+/// leaving, which is what keeps the notifier's acknowledgement-based
+/// reasoning (bridge ack-drops, history GC) sound.
+net::Payload encode_leave(SiteId site);
+
+/// True if `bytes` is a leave control message (check before decoding as
+/// a ClientMsg).
+bool is_leave_msg(const net::Payload& bytes);
+
+/// Decodes a leave message, returning the departing site.
+SiteId decode_leave(const net::Payload& bytes);
+
+/// Encoded size of just the timestamp portion of a message in the given
+/// mode — used by E3 to separate clock overhead from op payload.
+std::size_t stamp_wire_size(const Stamp& stamp, StampMode mode);
+
+}  // namespace ccvc::engine

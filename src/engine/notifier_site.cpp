@@ -1,0 +1,259 @@
+#include "engine/notifier_site.hpp"
+
+#include <utility>
+
+#include "ot/transform.hpp"
+#include "util/check.hpp"
+
+namespace ccvc::engine {
+
+NotifierSite::NotifierSite(std::size_t num_sites, std::string_view initial_doc,
+                           const EngineConfig& cfg, SendFn send_to_client,
+                           EngineObserver* observer)
+    : num_sites_(num_sites),
+      cfg_(cfg),
+      send_(std::move(send_to_client)),
+      observer_(observer),
+      doc_(initial_doc),
+      clock_(num_sites),
+      vc_(cfg.stamp_mode == StampMode::kFullVector ? num_sites + 1 : 0),
+      outgoing_(num_sites + 1),
+      enqueued_(num_sites + 1, 0),
+      acked_(num_sites + 1, 0),
+      active_(num_sites + 1, true) {
+  CCVC_CHECK(static_cast<bool>(send_));
+}
+
+NotifierSite::State NotifierSite::state() const {
+  State s;
+  s.num_sites = num_sites_;
+  s.document = doc_.text();
+  s.sv0 = clock_.full();
+  s.vc = vc_;
+  s.hb = hb_;
+  s.outgoing.reserve(outgoing_.size());
+  for (const auto& q : outgoing_) {
+    s.outgoing.emplace_back(q.begin(), q.end());
+  }
+  s.enqueued = enqueued_;
+  s.acked = acked_;
+  s.active = active_;
+  s.hb_collected = hb_collected_;
+  return s;
+}
+
+NotifierSite::NotifierSite(const State& state, const EngineConfig& cfg,
+                           SendFn send_to_client, EngineObserver* observer)
+    : num_sites_(state.num_sites),
+      cfg_(cfg),
+      send_(std::move(send_to_client)),
+      observer_(observer),
+      doc_(state.document),
+      clock_(state.sv0),
+      vc_(state.vc),
+      hb_(state.hb),
+      enqueued_(state.enqueued),
+      acked_(state.acked),
+      active_(state.active),
+      hb_collected_(state.hb_collected) {
+  CCVC_CHECK(static_cast<bool>(send_));
+  CCVC_CHECK(state.outgoing.size() == num_sites_ + 1);
+  outgoing_.reserve(state.outgoing.size());
+  for (const auto& q : state.outgoing) {
+    outgoing_.emplace_back(q.begin(), q.end());
+  }
+}
+
+NotifierSite::JoinTicket NotifierSite::add_site() {
+  // A headline benefit of the compressed scheme: membership can change
+  // freely because no client's clock mentions N.  Full-vector stamps
+  // would need a coordinated clock resize at every site (and every
+  // in-flight message), so that mode does not support joins.
+  CCVC_CHECK_MSG(cfg_.stamp_mode == StampMode::kCompressed,
+                 "dynamic membership requires the compressed scheme");
+  const SiteId id = clock_.add_site();
+  num_sites_ = clock_.num_sites();
+  outgoing_.emplace_back();
+  // The snapshot hands over every operation executed so far, so the
+  // send counter — and eq. (1)'s Σ_{j≠id} SV_0[j] — starts at total().
+  enqueued_.push_back(clock_.total());
+  // Likewise GC may treat everything up to the snapshot as acknowledged.
+  acked_.push_back(clock_.total());
+  active_.push_back(true);
+  if (observer_) observer_->on_client_join(id);
+  return JoinTicket{id, doc_.text(), clock_.total(), vc_};
+}
+
+void NotifierSite::remove_site(SiteId site) {
+  CCVC_CHECK(site >= 1 && site <= num_sites_);
+  CCVC_CHECK_MSG(active_[site], "site already departed");
+  active_[site] = false;
+  // The bridge queue is kept: messages the site sent before departing
+  // may still be in flight and must transform against it.  It stops
+  // growing because broadcasts skip inactive destinations.
+  if (cfg_.gc_history) gc_history();  // its acks no longer gate GC
+}
+
+bool NotifierSite::is_active(SiteId site) const {
+  CCVC_CHECK(site >= 1 && site <= num_sites_);
+  return active_[site];
+}
+
+std::size_t NotifierSite::outgoing_count(SiteId client) const {
+  CCVC_CHECK(client >= 1 && client <= num_sites_);
+  return outgoing_[client].size();
+}
+
+void NotifierSite::on_client_message(SiteId from, const net::Payload& bytes) {
+  CCVC_CHECK(from >= 1 && from <= num_sites_);
+  if (is_leave_msg(bytes)) {
+    // In-band departure: FIFO guarantees every operation the site sent
+    // beforehand has already been processed, so dropping it from the
+    // acknowledgement bookkeeping is sound from here on.
+    CCVC_CHECK_MSG(decode_leave(bytes) == from,
+                   "leave arrived on the wrong channel");
+    remove_site(from);
+    return;
+  }
+  ClientMsg msg = decode_client_msg(bytes, cfg_.stamp_mode);
+  CCVC_CHECK_MSG(msg.id.site == from, "message arrived on the wrong channel");
+
+  // §4.2 — concurrency check of the incoming Oa (2-element stamp)
+  // against every buffered operation (full-vector stamp), formula (7).
+  std::vector<OpId> formula_concurrent;
+  if (cfg_.log_verdicts) {
+    for (const auto& e : hb_) {
+      // Same-origin entries are causally prior by FIFO in both modes —
+      // the client knows its own operations, so their center re-issues
+      // O' never need transformation there (the x = y exclusion of
+      // formula (7)).
+      const bool conc =
+          (cfg_.stamp_mode == StampMode::kCompressed)
+              ? clocks::concurrent_at_notifier_o1(msg.stamp.csv, from,
+                                                  e.stamp_sum,
+                                                  e.stamp.at_or_zero(from),
+                                                  e.origin)
+              : (e.origin != from &&
+                 msg.stamp.full.concurrent_with(e.stamp));
+      if (conc) formula_concurrent.push_back(e.id);
+      if (observer_) {
+        observer_->on_verdict(Verdict{kNotifierSite,
+                                      EventKey{msg.id, false},
+                                      EventKey{e.id, true}, conc});
+      }
+    }
+  }
+
+  // Acknowledgement: T[1] of a client stamp counts the center
+  // operations the client had executed when it generated Oa (§3.3).  In
+  // full-vector mode the same count is Σ over the *client* components
+  // other than the sender's: component j of a client stamp is SV_0[j]
+  // as of the last center message it received (component 0 counts the
+  // center's own issue events and must not be included).
+  const std::uint64_t ack =
+      (cfg_.stamp_mode == StampMode::kCompressed)
+          ? msg.stamp.csv.from_center
+          : msg.stamp.full.sum() - msg.stamp.full[kNotifierSite] -
+                msg.stamp.full[from];
+  acked_[from] = std::max(acked_[from], ack);
+
+  ot::OpList incoming = std::move(msg.ops);
+  if (cfg_.transform) {
+    // Everything this client has seen leaves its bridge queue.
+    auto& bridge = outgoing_[from];
+    while (!bridge.empty() && bridge.front().index <= ack) {
+      bridge.pop_front();
+    }
+
+    if (cfg_.log_verdicts && cfg_.check_fidelity) {
+      std::vector<OpId> control;
+      control.reserve(bridge.size());
+      for (const auto& b : bridge) control.push_back(b.id);
+      CCVC_CHECK_MSG(formula_concurrent == control,
+                     "formula (7) disagrees with transformation control");
+    }
+
+    // Transform Oa against the concurrent operations, symmetrically
+    // updating their bridge forms (they must end in the post-Oa context
+    // for the next message from this client).
+    for (auto& b : bridge) {
+      auto [inc_next, b_next] = ot::transform(incoming, b.ops);
+      incoming = std::move(inc_next);
+      b.ops = std::move(b_next);
+    }
+    doc_.apply(incoming, doc::ApplyMode::kStrict);
+  } else {
+    doc_.apply(incoming, doc::ApplyMode::kClamped);
+  }
+
+  // §3.2: SV_0[from] += 1.  The executed (transformed) form O' counts as
+  // an operation generated at site 0 (§5).
+  clock_.on_op_from(from);
+  if (cfg_.stamp_mode == StampMode::kFullVector) {
+    vc_.merge(msg.stamp.full);
+    vc_.tick(kNotifierSite);
+  }
+
+  // §3.3: buffer O' with the current full state vector.
+  hb_.push_back(NotifierHbEntry{msg.id, from, clock_.full(), clock_.total(),
+                                incoming});
+  if (observer_) observer_->on_center_execute(msg.id, hb_.back().executed);
+
+  // Broadcast O' to every other (active) client, stamped per
+  // destination with eq. (1)-(2).
+  for (SiteId dest = 1; dest <= num_sites_; ++dest) {
+    if (dest == from || !active_[dest]) continue;
+    if (cfg_.transform) {
+      outgoing_[dest].push_back(
+          BridgeEntry{msg.id, ++enqueued_[dest], incoming});
+    } else {
+      ++enqueued_[dest];
+    }
+
+    CenterMsg out;
+    out.id = msg.id;
+    out.ops = incoming;
+    out.stamp.csv = clock_.stamp_for(dest);
+    out.stamp.full = vc_;
+    // Eq. (1) invariant: the per-destination send counter *is*
+    // Σ_{j≠dest} SV_0[j].
+    CCVC_CHECK(out.stamp.csv.from_center == enqueued_[dest]);
+    net::Payload out_bytes = encode(out, cfg_.stamp_mode);
+    if (observer_) {
+      observer_->on_wire(kNotifierSite, dest, out_bytes.size(),
+                         stamp_wire_size(out.stamp, cfg_.stamp_mode));
+    }
+    send_(dest, std::move(out_bytes));
+  }
+
+  if (cfg_.gc_history) gc_history();
+}
+
+void NotifierSite::gc_history() {
+  // A buffered entry Ob can only be flagged concurrent by formula (7)
+  // for a future op from site x ≠ origin(Ob) whose T[1] is at least
+  // acked_[x] (stamps are FIFO-monotone).  Once
+  //     Σ_{j≠x} T_Ob[j]  <=  acked_[x]     for every such x,
+  // no future check can select Ob, so it is dead.  Both sides of the
+  // inequality are monotone along HB order, so dead entries form a
+  // prefix — collect from the front.
+  std::size_t dead = 0;
+  for (const auto& e : hb_) {
+    bool all_covered = true;
+    for (SiteId x = 1; x <= num_sites_; ++x) {
+      if (x == e.origin || !active_[x]) continue;
+      if (e.stamp_sum - e.stamp.at_or_zero(x) > acked_[x]) {
+        all_covered = false;
+        break;
+      }
+    }
+    if (!all_covered) break;
+    ++dead;
+  }
+  if (dead > 0) {
+    hb_.erase(hb_.begin(), hb_.begin() + static_cast<std::ptrdiff_t>(dead));
+    hb_collected_ += dead;
+  }
+}
+
+}  // namespace ccvc::engine

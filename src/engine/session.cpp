@@ -1,0 +1,252 @@
+#include "engine/session.hpp"
+
+#include "engine/snapshot.hpp"
+#include "util/check.hpp"
+#include "util/varint.hpp"
+
+namespace ccvc::engine {
+
+namespace {
+constexpr std::uint8_t kTagSessionCkpt = 0xD3;
+}
+
+StarSession::StarSession(const StarSessionConfig& cfg,
+                         EngineObserver* observer)
+    : cfg_(cfg),
+      queue_(),
+      rng_(cfg.seed),
+      net_(queue_, rng_.fork()),
+      observer_(observer) {
+  CCVC_CHECK_MSG(cfg_.num_sites >= 1, "need at least one collaborating site");
+
+  // Channels first: client i <-> notifier, both directions.
+  for (SiteId i = 1; i <= cfg_.num_sites; ++i) {
+    net_.add_channel(i, kNotifierSite, cfg_.uplink, cfg_.channel_ordering);
+    net_.add_channel(kNotifierSite, i, cfg_.downlink, cfg_.channel_ordering);
+  }
+
+  notifier_ = std::make_unique<NotifierSite>(
+      cfg_.num_sites, cfg_.initial_doc, cfg_.engine,
+      [this](SiteId dest, net::Payload bytes) {
+        net_.channel(kNotifierSite, dest).send(std::move(bytes));
+      },
+      observer);
+
+  clients_.resize(cfg_.num_sites + 1);
+  for (SiteId i = 1; i <= cfg_.num_sites; ++i) {
+    clients_[i] = std::make_unique<ClientSite>(
+        i, cfg_.num_sites, cfg_.initial_doc, cfg_.engine,
+        [this, i](net::Payload bytes) {
+          net_.channel(i, kNotifierSite).send(std::move(bytes));
+        },
+        observer);
+  }
+
+  // Receivers last, once every site exists.
+  for (SiteId i = 1; i <= cfg_.num_sites; ++i) {
+    net_.channel(i, kNotifierSite)
+        .set_receiver([this, i](const net::Payload& bytes) {
+          notifier_->on_client_message(i, bytes);
+        });
+    net_.channel(kNotifierSite, i)
+        .set_receiver([this, i](const net::Payload& bytes) {
+          clients_[i]->on_center_message(bytes);
+        });
+  }
+}
+
+net::Payload StarSession::checkpoint() const {
+  CCVC_CHECK_MSG(queue_.pending() == 0,
+                 "session checkpoints require quiescence (run the queue "
+                 "first) — in-flight traffic is not captured");
+  util::ByteSink sink;
+  sink.put_u8(kTagSessionCkpt);
+  sink.put_uvarint(cfg_.num_sites);
+  const net::Payload notifier_blob = save_checkpoint(*notifier_);
+  sink.put_uvarint(notifier_blob.size());
+  sink.put_raw(notifier_blob.data(), notifier_blob.size());
+  for (SiteId i = 1; i <= cfg_.num_sites; ++i) {
+    const net::Payload blob = save_checkpoint(*clients_[i]);
+    sink.put_uvarint(blob.size());
+    sink.put_raw(blob.data(), blob.size());
+  }
+  return sink.bytes();
+}
+
+StarSession::StarSession(const StarSessionConfig& cfg,
+                         const net::Payload& checkpoint,
+                         EngineObserver* observer)
+    : cfg_(cfg),
+      queue_(),
+      rng_(cfg.seed),
+      net_(queue_, rng_.fork()),
+      observer_(observer) {
+  util::ByteSource src(checkpoint);
+  CCVC_CHECK_MSG(src.get_u8() == kTagSessionCkpt, "not a session checkpoint");
+  cfg_.num_sites = static_cast<std::size_t>(src.get_uvarint());
+
+  auto read_blob = [&src] {
+    const std::uint64_t n = src.get_uvarint();
+    if (n > src.remaining()) {
+      throw util::DecodeError("corrupt session checkpoint: blob length");
+    }
+    net::Payload blob;
+    blob.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t k = 0; k < n; ++k) blob.push_back(src.get_u8());
+    return blob;
+  };
+
+  for (SiteId i = 1; i <= cfg_.num_sites; ++i) {
+    net_.add_channel(i, kNotifierSite, cfg_.uplink, cfg_.channel_ordering);
+    net_.add_channel(kNotifierSite, i, cfg_.downlink, cfg_.channel_ordering);
+  }
+
+  notifier_ = std::make_unique<NotifierSite>(
+      load_notifier_checkpoint(read_blob()), cfg_.engine,
+      [this](SiteId dest, net::Payload bytes) {
+        net_.channel(kNotifierSite, dest).send(std::move(bytes));
+      },
+      observer);
+  CCVC_CHECK_MSG(notifier_->num_sites() == cfg_.num_sites,
+                 "checkpoint membership mismatch");
+
+  clients_.resize(cfg_.num_sites + 1);
+  for (SiteId i = 1; i <= cfg_.num_sites; ++i) {
+    clients_[i] = std::make_unique<ClientSite>(
+        load_client_checkpoint(read_blob()), cfg_.engine,
+        [this, i](net::Payload bytes) {
+          net_.channel(i, kNotifierSite).send(std::move(bytes));
+        },
+        observer);
+  }
+  CCVC_CHECK_MSG(src.exhausted(), "trailing bytes in session checkpoint");
+
+  for (SiteId i = 1; i <= cfg_.num_sites; ++i) {
+    net_.channel(i, kNotifierSite)
+        .set_receiver([this, i](const net::Payload& bytes) {
+          notifier_->on_client_message(i, bytes);
+        });
+    net_.channel(kNotifierSite, i)
+        .set_receiver([this, i](const net::Payload& bytes) {
+          clients_[i]->on_center_message(bytes);
+        });
+  }
+}
+
+SiteId StarSession::add_client() {
+  const NotifierSite::JoinTicket ticket = notifier_->add_site();
+  const SiteId i = ticket.site;
+  cfg_.num_sites = notifier_->num_sites();
+
+  net_.add_channel(i, kNotifierSite, cfg_.uplink, cfg_.channel_ordering);
+  net_.add_channel(kNotifierSite, i, cfg_.downlink, cfg_.channel_ordering);
+
+  clients_.resize(cfg_.num_sites + 1);
+  clients_[i] = std::make_unique<ClientSite>(
+      i, cfg_.num_sites, ticket.document, ticket.ops_embodied, cfg_.engine,
+      [this, i](net::Payload bytes) {
+        net_.channel(i, kNotifierSite).send(std::move(bytes));
+      },
+      observer_);
+
+  net_.channel(i, kNotifierSite)
+      .set_receiver([this, i](const net::Payload& bytes) {
+        notifier_->on_client_message(i, bytes);
+      });
+  net_.channel(kNotifierSite, i)
+      .set_receiver([this, i](const net::Payload& bytes) {
+        clients_[i]->on_center_message(bytes);
+      });
+  return i;
+}
+
+void StarSession::remove_client(SiteId i) {
+  CCVC_CHECK(i >= 1 && i <= cfg_.num_sites);
+  // In-band: the departure notice travels the FIFO uplink behind the
+  // site's final operations; the notifier marks it inactive on arrival.
+  clients_[i]->leave();
+}
+
+ClientSite& StarSession::client(SiteId i) {
+  CCVC_CHECK(i >= 1 && i <= cfg_.num_sites);
+  return *clients_[i];
+}
+
+const ClientSite& StarSession::client(SiteId i) const {
+  CCVC_CHECK(i >= 1 && i <= cfg_.num_sites);
+  return *clients_[i];
+}
+
+bool StarSession::converged() const {
+  const std::string reference = notifier_->text();
+  for (SiteId i = 1; i <= cfg_.num_sites; ++i) {
+    if (!notifier_->is_active(i)) continue;  // departed replicas freeze
+    if (clients_[i]->text() != reference) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> StarSession::documents() const {
+  std::vector<std::string> docs;
+  docs.reserve(cfg_.num_sites + 1);
+  docs.push_back(notifier_->text());
+  for (SiteId i = 1; i <= cfg_.num_sites; ++i) {
+    if (notifier_->is_active(i)) docs.push_back(clients_[i]->text());
+  }
+  return docs;
+}
+
+MeshSession::MeshSession(const MeshSessionConfig& cfg,
+                         EngineObserver* observer)
+    : cfg_(cfg),
+      queue_(),
+      rng_(cfg.seed),
+      net_(queue_, rng_.fork()) {
+  CCVC_CHECK_MSG(cfg_.num_sites >= 2, "a mesh needs at least two sites");
+
+  for (SiteId i = 1; i <= cfg_.num_sites; ++i) {
+    for (SiteId j = 1; j <= cfg_.num_sites; ++j) {
+      if (i != j) net_.add_channel(i, j, cfg_.latency);
+    }
+  }
+
+  sites_.resize(cfg_.num_sites + 1);
+  for (SiteId i = 1; i <= cfg_.num_sites; ++i) {
+    sites_[i] = std::make_unique<MeshSite>(
+        i, cfg_.num_sites, cfg_.stamp,
+        [this, i](SiteId dest, net::Payload bytes) {
+          net_.channel(i, dest).send(std::move(bytes));
+        },
+        observer);
+  }
+
+  for (SiteId i = 1; i <= cfg_.num_sites; ++i) {
+    for (SiteId j = 1; j <= cfg_.num_sites; ++j) {
+      if (i == j) continue;
+      net_.channel(i, j).set_receiver([this, i, j](const net::Payload& bytes) {
+        sites_[j]->on_message(i, bytes);
+      });
+    }
+  }
+}
+
+MeshSite& MeshSession::site(SiteId i) {
+  CCVC_CHECK(i >= 1 && i <= cfg_.num_sites);
+  return *sites_[i];
+}
+
+const MeshSite& MeshSession::site(SiteId i) const {
+  CCVC_CHECK(i >= 1 && i <= cfg_.num_sites);
+  return *sites_[i];
+}
+
+bool MeshSession::all_delivered() const {
+  const std::size_t expected = sites_[1]->delivery_log().size();
+  for (SiteId i = 1; i <= cfg_.num_sites; ++i) {
+    if (sites_[i]->held_count() != 0) return false;
+    if (sites_[i]->delivery_log().size() != expected) return false;
+  }
+  return true;
+}
+
+}  // namespace ccvc::engine

@@ -1,0 +1,150 @@
+// Session façades — the library's primary public API.
+//
+// StarSession wires N ClientSites and the NotifierSite over a simulated
+// star network (Fig. 1) and exposes user-level editing; MeshSession does
+// the same for the fully-distributed baseline.  Examples and benches
+// build on these; tests also drive the site classes directly.
+//
+// Typical use:
+//
+//   ccvc::engine::StarSessionConfig cfg;
+//   cfg.num_sites = 3;
+//   cfg.initial_doc = "ABCDE";
+//   ccvc::engine::StarSession session(cfg);
+//   session.client(1).insert(1, "12");
+//   session.client(2).erase(2, 3);
+//   session.run_to_quiescence();
+//   assert(session.converged());
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/client_site.hpp"
+#include "engine/mesh_site.hpp"
+#include "engine/notifier_site.hpp"
+#include "net/channel.hpp"
+#include "net/event_queue.hpp"
+#include "net/latency.hpp"
+#include "util/rng.hpp"
+
+namespace ccvc::engine {
+
+struct StarSessionConfig {
+  std::size_t num_sites = 3;
+  std::string initial_doc;
+  EngineConfig engine;
+  /// Latency of client -> notifier channels.
+  net::LatencyModel uplink = net::LatencyModel::fixed(10.0);
+  /// Latency of notifier -> client channels.
+  net::LatencyModel downlink = net::LatencyModel::fixed(10.0);
+  /// Failure injection: kUnordered drops the FIFO guarantee the paper's
+  /// simplified checks (5)/(7) rely on.  Expect breakage — that is the
+  /// point of the knob (see tests/integration/fifo_requirement_test).
+  net::Ordering channel_ordering = net::Ordering::kFifo;
+  std::uint64_t seed = 0x5eed;
+};
+
+class StarSession {
+ public:
+  explicit StarSession(const StarSessionConfig& cfg,
+                       EngineObserver* observer = nullptr);
+
+  StarSession(const StarSession&) = delete;
+  StarSession& operator=(const StarSession&) = delete;
+
+  std::size_t num_sites() const { return cfg_.num_sites; }
+  net::EventQueue& queue() { return queue_; }
+  const net::Network& network() const { return net_; }
+  /// Mutable access for tests/tools that interpose on channels (e.g. the
+  /// GOT shadow checker re-installs uplink receivers).
+  net::Network& network() { return net_; }
+  ClientSite& client(SiteId i);
+  const ClientSite& client(SiteId i) const;
+  NotifierSite& notifier() { return *notifier_; }
+  const NotifierSite& notifier() const { return *notifier_; }
+
+  /// Drains the event queue: every in-flight message is delivered.
+  void run_to_quiescence() { queue_.run(); }
+
+  /// Serializes the whole session's protocol state (notifier + every
+  /// client).  Only valid at quiescence — in-flight traffic is not
+  /// captured, matching the deployment reality that a full-session
+  /// checkpoint happens between TCP (re)connections, not mid-stream.
+  net::Payload checkpoint() const;
+
+  /// Restores a session from a checkpoint.  `cfg` supplies the
+  /// environment (latency models, seed, engine switches — which must
+  /// match the original's engine config); membership, documents,
+  /// clocks, and queues come from the checkpoint.
+  StarSession(const StarSessionConfig& cfg, const net::Payload& checkpoint,
+              EngineObserver* observer = nullptr);
+
+  /// Admits a new collaborating site mid-session, seeded with the
+  /// notifier's current document snapshot, and returns its id.
+  /// Compressed stamp mode only (clients never track N, so nobody else
+  /// needs to hear about it).
+  SiteId add_client();
+
+  /// Departs a site by sending an in-band leave notice on its FIFO
+  /// uplink (like a TCP close, it follows all of the site's operations).
+  /// Once the notifier processes it, broadcasts to the site stop and its
+  /// replica freezes as in-flight traffic drains.
+  void remove_client(SiteId i);
+
+  /// True until the notifier has processed `i`'s departure notice.
+  bool is_active(SiteId i) const { return notifier_->is_active(i); }
+
+  /// All live replicas (notifier + active clients) hold identical text.
+  bool converged() const;
+
+  /// Document texts, index 0 = notifier, then one per *active* client.
+  std::vector<std::string> documents() const;
+
+ private:
+  StarSessionConfig cfg_;
+  net::EventQueue queue_;
+  util::Rng rng_;
+  net::Network net_;
+  EngineObserver* observer_ = nullptr;
+  std::unique_ptr<NotifierSite> notifier_;
+  std::vector<std::unique_ptr<ClientSite>> clients_;  // [site id]; [0] null
+};
+
+struct MeshSessionConfig {
+  std::size_t num_sites = 4;
+  MeshStamp stamp = MeshStamp::kFullVector;
+  net::LatencyModel latency = net::LatencyModel::fixed(10.0);
+  std::uint64_t seed = 0x5eed;
+};
+
+class MeshSession {
+ public:
+  explicit MeshSession(const MeshSessionConfig& cfg,
+                       EngineObserver* observer = nullptr);
+
+  MeshSession(const MeshSession&) = delete;
+  MeshSession& operator=(const MeshSession&) = delete;
+
+  std::size_t num_sites() const { return cfg_.num_sites; }
+  net::EventQueue& queue() { return queue_; }
+  const net::Network& network() const { return net_; }
+  MeshSite& site(SiteId i);
+  const MeshSite& site(SiteId i) const;
+
+  void run_to_quiescence() { queue_.run(); }
+
+  /// Every site has delivered every operation (no held messages, equal
+  /// delivery counts).
+  bool all_delivered() const;
+
+ private:
+  MeshSessionConfig cfg_;
+  net::EventQueue queue_;
+  util::Rng rng_;
+  net::Network net_;
+  std::vector<std::unique_ptr<MeshSite>> sites_;  // [site id]; [0] null
+};
+
+}  // namespace ccvc::engine

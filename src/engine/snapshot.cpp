@@ -1,0 +1,211 @@
+#include "engine/snapshot.hpp"
+
+#include "util/check.hpp"
+#include "util/varint.hpp"
+
+namespace ccvc::engine {
+
+namespace {
+
+constexpr std::uint8_t kTagClientCkpt = 0xD1;
+constexpr std::uint8_t kTagNotifierCkpt = 0xD2;
+
+// Checkpoints keep full primitive state, including captured delete text
+// (the wire codec deliberately drops it; see text_op.cpp).
+void put_prim(util::ByteSink& sink, const ot::PrimOp& op) {
+  sink.put_u8(static_cast<std::uint8_t>(op.kind));
+  sink.put_uvarint(op.pos);
+  sink.put_uvarint(op.count);
+  sink.put_uvarint(op.origin);
+  sink.put_string(op.text);
+}
+
+ot::PrimOp get_prim(util::ByteSource& src) {
+  ot::PrimOp op;
+  const auto kind = src.get_u8();
+  CCVC_CHECK_MSG(kind <= static_cast<std::uint8_t>(ot::OpKind::kIdentity),
+                 "corrupt checkpoint: bad op kind");
+  op.kind = static_cast<ot::OpKind>(kind);
+  op.pos = static_cast<std::size_t>(src.get_uvarint());
+  op.count = static_cast<std::size_t>(src.get_uvarint());
+  op.origin = static_cast<SiteId>(src.get_uvarint());
+  op.text = src.get_string();
+  return op;
+}
+
+void put_ops(util::ByteSink& sink, const ot::OpList& ops) {
+  sink.put_uvarint(ops.size());
+  for (const auto& op : ops) put_prim(sink, op);
+}
+
+ot::OpList get_ops(util::ByteSource& src) {
+  const std::uint64_t n = src.get_uvarint();
+  if (n > src.remaining()) {
+    throw util::DecodeError("corrupt checkpoint: op list length");
+  }
+  ot::OpList ops;
+  ops.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) ops.push_back(get_prim(src));
+  return ops;
+}
+
+void put_id(util::ByteSink& sink, const OpId& id) {
+  sink.put_uvarint(id.site);
+  sink.put_uvarint(id.seq);
+}
+
+OpId get_id(util::ByteSource& src) {
+  OpId id;
+  id.site = static_cast<SiteId>(src.get_uvarint());
+  id.seq = src.get_uvarint();
+  return id;
+}
+
+}  // namespace
+
+net::Payload save_checkpoint(const ClientSite& site) {
+  const ClientSite::State s = site.state();
+  util::ByteSink sink;
+  sink.put_u8(kTagClientCkpt);
+  sink.put_uvarint(s.id);
+  sink.put_uvarint(s.num_sites);
+  sink.put_string(s.document);
+  s.sv.encode(sink);
+  s.vc.encode(sink);
+  sink.put_uvarint(s.hb.size());
+  for (const auto& e : s.hb) {
+    put_id(sink, e.id);
+    sink.put_u8(e.source == clocks::HbSource::kLocal ? 1 : 0);
+    e.stamp.encode(sink);
+    e.full.encode(sink);
+    put_ops(sink, e.executed);
+  }
+  sink.put_uvarint(s.pending.size());
+  for (const auto& p : s.pending) {
+    put_id(sink, p.id);
+    sink.put_uvarint(p.own_index);
+    put_ops(sink, p.ops);
+  }
+  sink.put_uvarint(s.max_ack);
+  sink.put_uvarint(s.hb_collected);
+  sink.put_u8(s.departed ? 1 : 0);
+  sink.put_uvarint(s.undone.size());
+  for (const auto& id : s.undone) put_id(sink, id);
+  return sink.bytes();
+}
+
+ClientSite::State load_client_checkpoint(const net::Payload& bytes) {
+  util::ByteSource src(bytes);
+  CCVC_CHECK_MSG(src.get_u8() == kTagClientCkpt, "not a client checkpoint");
+  ClientSite::State s;
+  s.id = static_cast<SiteId>(src.get_uvarint());
+  s.num_sites = static_cast<std::size_t>(src.get_uvarint());
+  s.document = src.get_string();
+  s.sv = clocks::CompressedSv::decode(src);
+  s.vc = clocks::VersionVector::decode(src);
+  const std::uint64_t hb_n = src.get_uvarint();
+  for (std::uint64_t i = 0; i < hb_n; ++i) {
+    ClientHbEntry e;
+    e.id = get_id(src);
+    e.source = src.get_u8() ? clocks::HbSource::kLocal
+                            : clocks::HbSource::kFromCenter;
+    e.stamp = clocks::CompressedSv::decode(src);
+    e.full = clocks::VersionVector::decode(src);
+    e.executed = get_ops(src);
+    s.hb.push_back(std::move(e));
+  }
+  const std::uint64_t p_n = src.get_uvarint();
+  for (std::uint64_t i = 0; i < p_n; ++i) {
+    ClientSite::Pending p;
+    p.id = get_id(src);
+    p.own_index = src.get_uvarint();
+    p.ops = get_ops(src);
+    s.pending.push_back(std::move(p));
+  }
+  s.max_ack = src.get_uvarint();
+  s.hb_collected = src.get_uvarint();
+  s.departed = src.get_u8() != 0;
+  const std::uint64_t u_n = src.get_uvarint();
+  for (std::uint64_t i = 0; i < u_n; ++i) s.undone.push_back(get_id(src));
+  CCVC_CHECK_MSG(src.exhausted(), "trailing bytes in client checkpoint");
+  return s;
+}
+
+net::Payload save_checkpoint(const NotifierSite& site) {
+  const NotifierSite::State s = site.state();
+  util::ByteSink sink;
+  sink.put_u8(kTagNotifierCkpt);
+  sink.put_uvarint(s.num_sites);
+  sink.put_string(s.document);
+  s.sv0.encode(sink);
+  s.vc.encode(sink);
+  sink.put_uvarint(s.hb.size());
+  for (const auto& e : s.hb) {
+    put_id(sink, e.id);
+    sink.put_uvarint(e.origin);
+    e.stamp.encode(sink);
+    put_ops(sink, e.executed);
+  }
+  sink.put_uvarint(s.outgoing.size());
+  for (const auto& q : s.outgoing) {
+    sink.put_uvarint(q.size());
+    for (const auto& b : q) {
+      put_id(sink, b.id);
+      sink.put_uvarint(b.index);
+      put_ops(sink, b.ops);
+    }
+  }
+  sink.put_uvarint(s.enqueued.size());
+  for (const auto v : s.enqueued) sink.put_uvarint(v);
+  sink.put_uvarint(s.acked.size());
+  for (const auto v : s.acked) sink.put_uvarint(v);
+  sink.put_uvarint(s.active.size());
+  for (const bool v : s.active) sink.put_u8(v ? 1 : 0);
+  sink.put_uvarint(s.hb_collected);
+  return sink.bytes();
+}
+
+NotifierSite::State load_notifier_checkpoint(const net::Payload& bytes) {
+  util::ByteSource src(bytes);
+  CCVC_CHECK_MSG(src.get_u8() == kTagNotifierCkpt,
+                 "not a notifier checkpoint");
+  NotifierSite::State s;
+  s.num_sites = static_cast<std::size_t>(src.get_uvarint());
+  s.document = src.get_string();
+  s.sv0 = clocks::VersionVector::decode(src);
+  s.vc = clocks::VersionVector::decode(src);
+  const std::uint64_t hb_n = src.get_uvarint();
+  for (std::uint64_t i = 0; i < hb_n; ++i) {
+    NotifierHbEntry e;
+    e.id = get_id(src);
+    e.origin = static_cast<SiteId>(src.get_uvarint());
+    e.stamp = clocks::VersionVector::decode(src);
+    e.stamp_sum = e.stamp.sum();
+    e.executed = get_ops(src);
+    s.hb.push_back(std::move(e));
+  }
+  const std::uint64_t q_n = src.get_uvarint();
+  for (std::uint64_t i = 0; i < q_n; ++i) {
+    std::vector<NotifierSite::BridgeEntry> q;
+    const std::uint64_t b_n = src.get_uvarint();
+    for (std::uint64_t k = 0; k < b_n; ++k) {
+      NotifierSite::BridgeEntry b;
+      b.id = get_id(src);
+      b.index = src.get_uvarint();
+      b.ops = get_ops(src);
+      q.push_back(std::move(b));
+    }
+    s.outgoing.push_back(std::move(q));
+  }
+  const std::uint64_t e_n = src.get_uvarint();
+  for (std::uint64_t i = 0; i < e_n; ++i) s.enqueued.push_back(src.get_uvarint());
+  const std::uint64_t a_n = src.get_uvarint();
+  for (std::uint64_t i = 0; i < a_n; ++i) s.acked.push_back(src.get_uvarint());
+  const std::uint64_t act_n = src.get_uvarint();
+  for (std::uint64_t i = 0; i < act_n; ++i) s.active.push_back(src.get_u8() != 0);
+  s.hb_collected = src.get_uvarint();
+  CCVC_CHECK_MSG(src.exhausted(), "trailing bytes in notifier checkpoint");
+  return s;
+}
+
+}  // namespace ccvc::engine

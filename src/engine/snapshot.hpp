@@ -1,0 +1,29 @@
+// Checkpoint/restore of protocol state.
+//
+// A notifier crash in the paper's deployment (a Java process on the Web
+// server) must not lose the session, so the complete protocol state of
+// both site kinds serializes to bytes and restores exactly: document,
+// clocks, history buffer, bridge/pending queues, acknowledgement and
+// membership bookkeeping.  Unlike wire messages, checkpoints keep the
+// captured delete text of executed operations (invertibility survives a
+// restart).
+//
+// Determinism makes the feature precisely testable: a session
+// checkpointed mid-run, torn down, restored, and driven by the same
+// remaining events must behave bit-identically to one that never
+// restarted (snapshot_test).
+#pragma once
+
+#include "engine/client_site.hpp"
+#include "engine/notifier_site.hpp"
+#include "net/channel.hpp"
+
+namespace ccvc::engine {
+
+net::Payload save_checkpoint(const ClientSite& site);
+ClientSite::State load_client_checkpoint(const net::Payload& bytes);
+
+net::Payload save_checkpoint(const NotifierSite& site);
+NotifierSite::State load_notifier_checkpoint(const net::Payload& bytes);
+
+}  // namespace ccvc::engine

@@ -1,0 +1,87 @@
+#include "net/channel.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ccvc::net {
+
+Channel::Channel(EventQueue& queue, LatencyModel latency, util::Rng rng,
+                 std::string name, Ordering ordering)
+    : queue_(queue),
+      latency_(std::move(latency)),
+      rng_(rng),
+      name_(std::move(name)),
+      ordering_(ordering) {}
+
+void Channel::send(Payload bytes) {
+  stats_.messages += 1;
+  stats_.bytes += bytes.size();
+  stats_.msg_size.add(static_cast<double>(bytes.size()));
+
+  const SimTime sent_at = queue_.now();
+  SimTime deliver_at = sent_at + latency_.sample(rng_);
+  if (ordering_ == Ordering::kFifo) {
+    // FIFO: never deliver before an earlier message on this channel.
+    // Equal times are fine — the event queue breaks ties in scheduling
+    // order.
+    deliver_at = std::max(deliver_at, last_delivery_);
+    last_delivery_ = deliver_at;
+  }
+  stats_.latency_ms.add(deliver_at - sent_at);
+
+  queue_.schedule_at(
+      deliver_at, [this, payload = std::move(bytes)]() {
+        CCVC_CHECK_MSG(static_cast<bool>(receiver_),
+                       "channel " + name_ + " has no receiver installed");
+        receiver_(payload);
+      });
+}
+
+Channel& Network::add_channel(SiteId from, SiteId to,
+                              const LatencyModel& latency,
+                              Ordering ordering) {
+  const auto key = std::make_pair(from, to);
+  CCVC_CHECK_MSG(!channels_.contains(key), "channel already exists");
+  auto name = std::to_string(from) + "->" + std::to_string(to);
+  auto ch = std::make_unique<Channel>(queue_, latency, rng_.fork(),
+                                      std::move(name), ordering);
+  auto [it, inserted] = channels_.emplace(key, std::move(ch));
+  (void)inserted;
+  return *it->second;
+}
+
+Channel& Network::channel(SiteId from, SiteId to) {
+  auto it = channels_.find({from, to});
+  CCVC_CHECK_MSG(it != channels_.end(), "no such channel");
+  return *it->second;
+}
+
+const Channel& Network::channel(SiteId from, SiteId to) const {
+  auto it = channels_.find({from, to});
+  CCVC_CHECK_MSG(it != channels_.end(), "no such channel");
+  return *it->second;
+}
+
+bool Network::has_channel(SiteId from, SiteId to) const {
+  return channels_.contains({from, to});
+}
+
+std::uint64_t Network::total_messages() const {
+  std::uint64_t n = 0;
+  for (const auto& [key, ch] : channels_) n += ch->stats().messages;
+  return n;
+}
+
+std::uint64_t Network::total_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& [key, ch] : channels_) n += ch->stats().bytes;
+  return n;
+}
+
+void Network::for_each(
+    const std::function<void(SiteId, SiteId, const Channel&)>& fn) const {
+  for (const auto& [key, ch] : channels_) fn(key.first, key.second, *ch);
+}
+
+}  // namespace ccvc::net

@@ -1,0 +1,44 @@
+#include "net/event_queue.hpp"
+
+#include "util/check.hpp"
+
+namespace ccvc::net {
+
+void EventQueue::schedule_at(SimTime t, Action action) {
+  CCVC_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  heap_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+void EventQueue::schedule_in(SimTime dt, Action action) {
+  CCVC_CHECK_MSG(dt >= 0.0, "negative delay");
+  schedule_at(now_ + dt, std::move(action));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; moving the action out requires the
+  // const_cast dance or a copy — copy the small wrapper instead.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.t;
+  ev.fn();
+  return true;
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::size_t EventQueue::run_until(SimTime t_end) {
+  std::size_t n = 0;
+  while (!heap_.empty() && heap_.top().t <= t_end) {
+    step();
+    ++n;
+  }
+  if (now_ < t_end) now_ = t_end;
+  return n;
+}
+
+}  // namespace ccvc::net

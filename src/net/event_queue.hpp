@@ -1,0 +1,66 @@
+// Discrete-event simulation core.
+//
+// The paper's testbed — Java applets talking to a Web server over the
+// Internet — is replaced by a deterministic simulator (DESIGN.md §5).
+// Determinism matters: every experiment must be reproducible from a
+// seed, so event ordering breaks timestamp ties by insertion sequence,
+// never by container iteration order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace ccvc::net {
+
+/// Simulated wall-clock time in milliseconds.
+using SimTime = double;
+
+/// A min-heap of timed callbacks.  Single-threaded by design: group
+/// editors are latency-bound, not compute-bound, and a sequential DES
+/// keeps every run bit-reproducible.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` at absolute time `t` (≥ now()).
+  void schedule_at(SimTime t, Action action);
+
+  /// Schedules `action` `dt` milliseconds from now (dt ≥ 0).
+  void schedule_in(SimTime dt, Action action);
+
+  /// Runs the earliest pending event.  Returns false if none are left.
+  bool step();
+
+  /// Runs events until the queue drains or `max_events` have run;
+  /// returns the number executed.
+  std::size_t run(std::size_t max_events = static_cast<std::size_t>(-1));
+
+  /// Runs events with timestamps ≤ `t_end`; afterwards now() == t_end if
+  /// the queue drained up to it.  Returns the number executed.
+  std::size_t run_until(SimTime t_end);
+
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;  // FIFO tie-break for simultaneous events
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace ccvc::net

@@ -1,0 +1,55 @@
+#include "net/latency.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ccvc::net {
+
+LatencyModel LatencyModel::fixed(double ms) {
+  CCVC_CHECK(ms >= 0.0);
+  return LatencyModel(Kind::kFixed, ms, 0.0, 0.0);
+}
+
+LatencyModel LatencyModel::uniform(double lo_ms, double hi_ms) {
+  CCVC_CHECK(0.0 <= lo_ms && lo_ms <= hi_ms);
+  return LatencyModel(Kind::kUniform, lo_ms, hi_ms, 0.0);
+}
+
+LatencyModel LatencyModel::lognormal(double median_ms, double sigma,
+                                     double min_ms) {
+  CCVC_CHECK(min_ms >= 0.0 && median_ms > min_ms && sigma >= 0.0);
+  return LatencyModel(Kind::kLogNormal, median_ms, sigma, min_ms);
+}
+
+double LatencyModel::sample(util::Rng& rng) const {
+  switch (kind_) {
+    case Kind::kFixed:
+      return a_;
+    case Kind::kUniform:
+      return rng.uniform(a_, b_);
+    case Kind::kLogNormal:
+      return c_ + rng.lognormal(std::log(a_ - c_), b_);
+  }
+  return a_;
+}
+
+std::string LatencyModel::describe() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kFixed:
+      os << "fixed(" << a_ << "ms)";
+      break;
+    case Kind::kUniform:
+      os << "uniform(" << a_ << ".." << b_ << "ms)";
+      break;
+    case Kind::kLogNormal:
+      os << "lognormal(median=" << a_ << "ms, sigma=" << b_
+         << ", min=" << c_ << "ms)";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace ccvc::net

@@ -1,0 +1,42 @@
+// Message-latency models for the simulated Internet (§2: the system must
+// tolerate "high and nondeterministic communication latency").
+//
+// Three models cover the experiments: Fixed for scripted scenarios whose
+// interleavings must be exact (Fig. 2/Fig. 3 replays), Uniform for
+// simple jitter, and shifted LogNormal — the standard heavy-tailed model
+// of wide-area RTTs — for the end-to-end sessions.
+#pragma once
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace ccvc::net {
+
+class LatencyModel {
+ public:
+  /// Always exactly `ms`.
+  static LatencyModel fixed(double ms);
+
+  /// Uniform in [lo_ms, hi_ms).
+  static LatencyModel uniform(double lo_ms, double hi_ms);
+
+  /// min_ms + LogNormal(log(median_ms - min_ms), sigma): heavy-tailed
+  /// one-way delay with a propagation floor.
+  static LatencyModel lognormal(double median_ms, double sigma,
+                                double min_ms);
+
+  double sample(util::Rng& rng) const;
+
+  std::string describe() const;
+
+ private:
+  enum class Kind { kFixed, kUniform, kLogNormal };
+  LatencyModel(Kind kind, double a, double b, double c)
+      : kind_(kind), a_(a), b_(b), c_(c) {}
+
+  Kind kind_;
+  double a_, b_, c_;
+};
+
+}  // namespace ccvc::net

@@ -1,0 +1,261 @@
+#include "ot/text_op.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ccvc::ot {
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kInsert:
+      return "Ins";
+    case OpKind::kDelete:
+      return "Del";
+    case OpKind::kIdentity:
+      return "Nop";
+  }
+  return "?";
+}
+
+std::ptrdiff_t PrimOp::size_delta() const {
+  switch (kind) {
+    case OpKind::kInsert:
+      return static_cast<std::ptrdiff_t>(text.size());
+    case OpKind::kDelete:
+      return -static_cast<std::ptrdiff_t>(count);
+    case OpKind::kIdentity:
+      return 0;
+  }
+  return 0;
+}
+
+void PrimOp::encode(util::ByteSink& sink) const {
+  sink.put_u8(static_cast<std::uint8_t>(kind));
+  sink.put_uvarint(origin);
+  switch (kind) {
+    case OpKind::kInsert:
+      sink.put_uvarint(pos);
+      sink.put_string(text);
+      break;
+    case OpKind::kDelete:
+      // Deleted text is a local artifact (captured at execution for
+      // invertibility) and is never shipped — REDUCE's Delete[n, p] wire
+      // form carries the position and count only.
+      sink.put_uvarint(pos);
+      sink.put_uvarint(count);
+      break;
+    case OpKind::kIdentity:
+      break;
+  }
+}
+
+PrimOp PrimOp::decode(util::ByteSource& src) {
+  PrimOp op;
+  const auto kind_byte = src.get_u8();
+  CCVC_CHECK_MSG(kind_byte <= static_cast<std::uint8_t>(OpKind::kIdentity),
+                 "bad op kind on the wire");
+  op.kind = static_cast<OpKind>(kind_byte);
+  op.origin = static_cast<SiteId>(src.get_uvarint());
+  switch (op.kind) {
+    case OpKind::kInsert:
+      op.pos = static_cast<std::size_t>(src.get_uvarint());
+      op.text = src.get_string();
+      break;
+    case OpKind::kDelete:
+      op.pos = static_cast<std::size_t>(src.get_uvarint());
+      op.count = static_cast<std::size_t>(src.get_uvarint());
+      break;
+    case OpKind::kIdentity:
+      break;
+  }
+  return op;
+}
+
+std::size_t PrimOp::encoded_size() const {
+  std::size_t n = 1 + util::uvarint_size(origin);
+  switch (kind) {
+    case OpKind::kInsert:
+      n += util::uvarint_size(pos) + util::uvarint_size(text.size()) +
+           text.size();
+      break;
+    case OpKind::kDelete:
+      n += util::uvarint_size(pos) + util::uvarint_size(count);
+      break;
+    case OpKind::kIdentity:
+      break;
+  }
+  return n;
+}
+
+std::string PrimOp::str() const {
+  std::ostringstream os;
+  switch (kind) {
+    case OpKind::kInsert:
+      os << "Ins[\"" << text << "\"," << pos << "]";
+      break;
+    case OpKind::kDelete:
+      os << "Del[" << count << "," << pos << "]";
+      break;
+    case OpKind::kIdentity:
+      os << "Nop";
+      break;
+  }
+  return os.str();
+}
+
+OpList make_insert(std::size_t pos, std::string text, SiteId origin) {
+  PrimOp op;
+  op.kind = OpKind::kInsert;
+  op.pos = pos;
+  op.text = std::move(text);
+  op.origin = origin;
+  return OpList{std::move(op)};
+}
+
+OpList make_delete(std::size_t pos, std::size_t count, SiteId origin) {
+  // Delete[count, pos] ≡ count single-character deletions at `pos`: after
+  // each removal the next target character slides into `pos`.
+  OpList ops;
+  ops.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    PrimOp op;
+    op.kind = OpKind::kDelete;
+    op.pos = pos;
+    op.count = 1;
+    op.origin = origin;
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+OpList make_identity(SiteId origin) {
+  PrimOp op;
+  op.kind = OpKind::kIdentity;
+  op.origin = origin;
+  return OpList{std::move(op)};
+}
+
+PrimOp invert(const PrimOp& op) {
+  PrimOp inv = op;
+  switch (op.kind) {
+    case OpKind::kInsert:
+      inv.kind = OpKind::kDelete;
+      inv.count = op.text.size();
+      break;
+    case OpKind::kDelete:
+      CCVC_CHECK_MSG(op.text.size() == op.count,
+                     "inverting a delete requires captured text");
+      inv.kind = OpKind::kInsert;
+      inv.count = 0;
+      break;
+    case OpKind::kIdentity:
+      break;
+  }
+  return inv;
+}
+
+OpList invert(const OpList& ops) {
+  OpList inv;
+  inv.reserve(ops.size());
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) inv.push_back(invert(*it));
+  return inv;
+}
+
+std::ptrdiff_t size_delta(const OpList& ops) {
+  std::ptrdiff_t d = 0;
+  for (const auto& op : ops) d += op.size_delta();
+  return d;
+}
+
+bool is_identity(const OpList& ops) {
+  for (const auto& op : ops) {
+    if (!op.is_identity()) return false;
+  }
+  return true;
+}
+
+OpList coalesce(const OpList& ops) {
+  OpList out;
+  for (const auto& op : ops) {
+    if (op.is_identity()) continue;
+    if (!out.empty()) {
+      PrimOp& prev = out.back();
+      // Delete-forward run: deleting repeatedly at one position.
+      if (prev.kind == OpKind::kDelete && op.kind == OpKind::kDelete &&
+          op.pos == prev.pos && prev.origin == op.origin) {
+        prev.count += op.count;
+        prev.text += op.text;
+        continue;
+      }
+      // Contiguous insert run: each piece lands right after the last.
+      if (prev.kind == OpKind::kInsert && op.kind == OpKind::kInsert &&
+          op.pos == prev.pos + prev.text.size() &&
+          prev.origin == op.origin) {
+        prev.text += op.text;
+        continue;
+      }
+    }
+    out.push_back(op);
+  }
+  if (out.empty() && !ops.empty()) {
+    out.push_back(ops.front());  // keep one identity as a placeholder
+  }
+  return out;
+}
+
+OpList decompose(const OpList& ops) {
+  OpList out;
+  out.reserve(ops.size());
+  for (const auto& op : ops) {
+    if (op.kind == OpKind::kDelete && op.count > 1) {
+      for (std::size_t i = 0; i < op.count; ++i) {
+        PrimOp piece = op;
+        piece.count = 1;
+        piece.text = op.text.empty() ? std::string()
+                                     : op.text.substr(i, 1);
+        out.push_back(std::move(piece));
+      }
+    } else {
+      out.push_back(op);
+    }
+  }
+  return out;
+}
+
+void encode(const OpList& ops, util::ByteSink& sink) {
+  sink.put_uvarint(ops.size());
+  for (const auto& op : ops) op.encode(sink);
+}
+
+OpList decode_op_list(util::ByteSource& src) {
+  const std::uint64_t n = src.get_uvarint();
+  if (n > src.remaining()) {
+    // Every primitive costs at least two bytes on the wire; a larger
+    // count is a malformed length claim — fail before allocating.
+    throw util::DecodeError("op list length exceeds message");
+  }
+  OpList ops;
+  ops.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) ops.push_back(PrimOp::decode(src));
+  return ops;
+}
+
+std::size_t encoded_size(const OpList& ops) {
+  std::size_t n = util::uvarint_size(ops.size());
+  for (const auto& op : ops) n += op.encoded_size();
+  return n;
+}
+
+std::string to_string(const OpList& ops) {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i) os << "; ";
+    os << ops[i].str();
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace ccvc::ot

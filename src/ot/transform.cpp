@@ -1,0 +1,168 @@
+#include "ot/transform.hpp"
+
+#include "util/check.hpp"
+
+namespace ccvc::ot {
+
+namespace {
+
+void require_decomposed(const PrimOp& op) {
+  CCVC_CHECK_MSG(op.kind != OpKind::kDelete || op.count == 1,
+                 "transformation requires deletes decomposed to 1 char");
+}
+
+PrimOp make_nop(const PrimOp& from) {
+  PrimOp nop;
+  nop.kind = OpKind::kIdentity;
+  nop.pos = from.pos;  // kept for trace readability; has no effect
+  nop.origin = from.origin;
+  return nop;
+}
+
+}  // namespace
+
+bool insert_wins_left(const PrimOp& a, const PrimOp& b) {
+  // Total priority for concurrent inserts at the same position.  Distinct
+  // origins in the protocol make this a strict order; the (origin, text)
+  // tie degenerates only for identical inserts, where both application
+  // orders produce the same document anyway.
+  if (a.origin != b.origin) return a.origin < b.origin;
+  return a.text <= b.text;
+}
+
+PrimOp include_prim(const PrimOp& op, const PrimOp& against) {
+  require_decomposed(op);
+  require_decomposed(against);
+  if (op.kind == OpKind::kIdentity || against.kind == OpKind::kIdentity) {
+    return op;
+  }
+
+  PrimOp out = op;
+  const std::size_t blen = (against.kind == OpKind::kInsert)
+                               ? against.text.size()
+                               : against.count;
+
+  if (op.kind == OpKind::kInsert && against.kind == OpKind::kInsert) {
+    // II: shift right iff `against` lands strictly left, or ties and wins
+    // the left slot.
+    if (against.pos < op.pos ||
+        (against.pos == op.pos && insert_wins_left(against, op))) {
+      out.pos += blen;
+    }
+    return out;
+  }
+
+  if (op.kind == OpKind::kInsert && against.kind == OpKind::kDelete) {
+    // ID: deleting a character strictly left of the insertion point pulls
+    // it one to the left; at or right of it, no effect.
+    if (against.pos < op.pos) out.pos -= blen;
+    return out;
+  }
+
+  if (op.kind == OpKind::kDelete && against.kind == OpKind::kInsert) {
+    // DI: an insert at or left of the doomed character shifts it right.
+    // (Equal position: the insert goes *before* the character at `pos`.)
+    if (against.pos <= op.pos) out.pos += blen;
+    return out;
+  }
+
+  // DD: both delete one character.
+  CCVC_CHECK(op.kind == OpKind::kDelete && against.kind == OpKind::kDelete);
+  if (against.pos < op.pos) {
+    out.pos -= 1;
+  } else if (against.pos == op.pos) {
+    // The same character was deleted concurrently — this op has nothing
+    // left to do.  Becoming Identity (rather than deleting a neighbour)
+    // is what preserves both users' intentions.
+    out = make_nop(op);
+  }
+  return out;
+}
+
+std::pair<OpList, OpList> transform(const OpList& a, const OpList& b) {
+  // The classic grid walk: fold each primitive of A through the evolving
+  // B list, updating both sides.  Invariant at inner step i: `pa` and
+  // `b_cur[i]` are defined on the same document state (A-prefix already
+  // included into b_cur[0..i), B-prefix already included into pa).
+  OpList b_cur = b;
+  OpList a_out;
+  a_out.reserve(a.size());
+  for (const PrimOp& pa_in : a) {
+    PrimOp pa = pa_in;
+    for (PrimOp& pb : b_cur) {
+      const PrimOp pa_next = include_prim(pa, pb);
+      pb = include_prim(pb, pa);
+      pa = pa_next;
+    }
+    a_out.push_back(std::move(pa));
+  }
+  return {std::move(a_out), std::move(b_cur)};
+}
+
+OpList include_list(const OpList& op, const OpList& against) {
+  return transform(op, against).first;
+}
+
+PrimOp exclude_prim(const PrimOp& op, const PrimOp& against) {
+  require_decomposed(op);
+  require_decomposed(against);
+  if (against.kind == OpKind::kIdentity) return op;
+
+  PrimOp out = op;
+  const std::size_t blen = (against.kind == OpKind::kInsert)
+                               ? against.text.size()
+                               : against.count;
+
+  if (against.kind == OpKind::kInsert) {
+    // Undo the right-shift include_prim applied for positions at or
+    // right of the insertion.  A position strictly inside the inserted
+    // text cannot predate it.
+    if (op.kind == OpKind::kIdentity) return op;
+    const std::size_t q = against.pos;
+    if (op.pos <= q) return out;
+    CCVC_CHECK_MSG(op.pos >= q + blen,
+                   "cannot exclude an insert the operation lands inside "
+                   "of — it causally depends on it");
+    out.pos -= blen;
+    return out;
+  }
+
+  // against is a 1-char delete at q.
+  const std::size_t q = against.pos;
+  if (op.kind == OpKind::kIdentity) {
+    // A double-delete collapse (include_prim preserved the position):
+    // excluding the other delete resurrects this one, and the captured
+    // text of `against` is by definition the very character it deleted.
+    if (op.pos == q) {
+      PrimOp restored;
+      restored.kind = OpKind::kDelete;
+      restored.pos = q;
+      restored.count = 1;
+      restored.text = against.text;
+      restored.origin = op.origin;
+      return restored;
+    }
+    return op;
+  }
+  if (op.kind == OpKind::kDelete) {
+    // Deletes address existing characters: everything at or right of q
+    // sat one position further right before `against` removed its char.
+    if (op.pos >= q) out.pos += 1;
+    return out;
+  }
+  // op is an insert.  Strictly right of q shifts back; exactly at q is
+  // the information-losing boundary — the original could have been q or
+  // q + 1 (both include to q); by convention it resolves to q (stay).
+  if (op.pos > q) out.pos += 1;
+  return out;
+}
+
+OpList exclude_list(const OpList& op, const OpList& against) {
+  OpList cur = op;
+  for (auto it = against.rbegin(); it != against.rend(); ++it) {
+    for (auto& p : cur) p = exclude_prim(p, *it);
+  }
+  return cur;
+}
+
+}  // namespace ccvc::ot

@@ -1,0 +1,22 @@
+#include "sim/observers.hpp"
+
+#include "util/check.hpp"
+
+namespace ccvc::sim {
+
+bool VerdictRecorder::verdict_of(SiteId at_site,
+                                 const engine::EventKey& incoming,
+                                 const engine::EventKey& buffered) const {
+  const engine::Verdict* found = nullptr;
+  for (const auto& v : verdicts_) {
+    if (v.at_site == at_site && v.incoming == incoming &&
+        v.buffered == buffered) {
+      CCVC_CHECK_MSG(found == nullptr, "verdict checked more than once");
+      found = &v;
+    }
+  }
+  CCVC_CHECK_MSG(found != nullptr, "no such verdict was recorded");
+  return found->concurrent;
+}
+
+}  // namespace ccvc::sim

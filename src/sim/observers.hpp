@@ -1,0 +1,122 @@
+// Small observer utilities: a fan-out multiplexer, a verdict recorder
+// for scenario tests, and a metrics collector for session reports.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/observer.hpp"
+#include "net/event_queue.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace ccvc::sim {
+
+/// Forwards every engine event to each registered child observer.
+class ObserverMux : public engine::EngineObserver {
+ public:
+  void add(engine::EngineObserver* obs) { children_.push_back(obs); }
+
+  void on_client_generate(SiteId site, const OpId& id,
+                          const ot::OpList& executed) override {
+    for (auto* c : children_) c->on_client_generate(site, id, executed);
+  }
+  void on_client_execute_center(SiteId site, const OpId& id,
+                                const ot::OpList& executed) override {
+    for (auto* c : children_) c->on_client_execute_center(site, id, executed);
+  }
+  void on_center_execute(const OpId& id, const ot::OpList& executed) override {
+    for (auto* c : children_) c->on_center_execute(id, executed);
+  }
+  void on_verdict(const engine::Verdict& verdict) override {
+    for (auto* c : children_) c->on_verdict(verdict);
+  }
+  void on_wire(SiteId from, SiteId to, std::size_t message_bytes,
+               std::size_t stamp_bytes) override {
+    for (auto* c : children_) c->on_wire(from, to, message_bytes, stamp_bytes);
+  }
+  void on_client_join(SiteId site) override {
+    for (auto* c : children_) c->on_client_join(site);
+  }
+  void on_mesh_generate(SiteId site, const OpId& id,
+                        const clocks::VersionVector& stamp) override {
+    for (auto* c : children_) c->on_mesh_generate(site, id, stamp);
+  }
+  void on_mesh_deliver(SiteId site, const OpId& id) override {
+    for (auto* c : children_) c->on_mesh_deliver(site, id);
+  }
+
+ private:
+  std::vector<engine::EngineObserver*> children_;
+};
+
+/// Records every concurrency verdict, for scenario-exactness tests
+/// (Fig. 3) and offline analysis.
+class VerdictRecorder : public engine::EngineObserver {
+ public:
+  void on_verdict(const engine::Verdict& verdict) override {
+    verdicts_.push_back(verdict);
+  }
+
+  const std::vector<engine::Verdict>& verdicts() const { return verdicts_; }
+
+  /// The verdict for a specific (site, incoming, buffered) triple; the
+  /// triple must have been checked exactly once.
+  bool verdict_of(SiteId at_site, const engine::EventKey& incoming,
+                  const engine::EventKey& buffered) const;
+
+ private:
+  std::vector<engine::Verdict> verdicts_;
+};
+
+/// Aggregates wire traffic and propagation latency for session reports.
+class MetricsCollector : public engine::EngineObserver {
+ public:
+  explicit MetricsCollector(const net::EventQueue& queue) : queue_(queue) {}
+
+  void on_wire(SiteId /*from*/, SiteId /*to*/, std::size_t message_bytes,
+               std::size_t stamp_bytes) override {
+    ++messages_;
+    total_bytes_ += message_bytes;
+    stamp_bytes_ += stamp_bytes;
+    stamp_size_.add(static_cast<double>(stamp_bytes));
+    message_size_.add(static_cast<double>(message_bytes));
+  }
+
+  void on_client_generate(SiteId /*site*/, const OpId& id,
+                          const ot::OpList& /*executed*/) override {
+    generated_at_.emplace(id, queue_.now());
+    ++ops_generated_;
+  }
+
+  void on_client_execute_center(SiteId /*site*/, const OpId& id,
+                                const ot::OpList& /*executed*/) override {
+    auto it = generated_at_.find(id);
+    if (it != generated_at_.end()) {
+      propagation_ms_.add(queue_.now() - it->second);
+    }
+  }
+
+  std::uint64_t messages() const { return messages_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t stamp_bytes() const { return stamp_bytes_; }
+  std::uint64_t ops_generated() const { return ops_generated_; }
+  const util::Accumulator& stamp_size() const { return stamp_size_; }
+  const util::Accumulator& message_size() const { return message_size_; }
+  /// Generation-to-remote-execution delay, one sample per (op, remote).
+  const util::Histogram& propagation_ms() const { return propagation_ms_; }
+
+ private:
+  const net::EventQueue& queue_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t stamp_bytes_ = 0;
+  std::uint64_t ops_generated_ = 0;
+  util::Accumulator stamp_size_;
+  util::Accumulator message_size_;
+  util::Histogram propagation_ms_;
+  std::unordered_map<OpId, double> generated_at_;
+};
+
+}  // namespace ccvc::sim

@@ -1,0 +1,129 @@
+#include "sim/oracle.hpp"
+
+#include "util/check.hpp"
+
+namespace ccvc::sim {
+
+namespace {
+constexpr std::size_t kMaxMismatchSamples = 16;
+
+/// True iff `a` ≤ `b` pointwise (a's history is contained in b).
+bool contained_in(const clocks::VersionVector& a,
+                  const clocks::VersionVector& b) {
+  const auto order = a.compare(b);
+  return order == clocks::Order::kBefore || order == clocks::Order::kEqual;
+}
+
+}  // namespace
+
+CausalityOracle::CausalityOracle(std::size_t num_sites,
+                                 bool transforms_enabled)
+    : num_sites_(num_sites),
+      transforms_enabled_(transforms_enabled),
+      site_clock_(num_sites + 1, clocks::VersionVector(num_sites + 1)),
+      center_knowledge_(num_sites + 1),
+      mesh_clock_(num_sites + 1, clocks::VersionVector(num_sites + 1)),
+      mesh_delivered_(num_sites + 1,
+                      std::vector<std::uint64_t>(num_sites + 1, 0)) {}
+
+const clocks::VersionVector& CausalityOracle::stamp_of(const OpId& id) const {
+  auto it = stamp_.find(id);
+  CCVC_CHECK_MSG(it != stamp_.end(),
+                 "oracle saw a verdict about an unknown op");
+  return it->second;
+}
+
+void CausalityOracle::on_client_generate(SiteId site, const OpId& id,
+                                         const ot::OpList& /*executed*/) {
+  CCVC_CHECK(site >= 1 && site <= num_sites_);
+  site_clock_[site].tick(site);
+  stamp_.emplace(id, site_clock_[site]);
+}
+
+void CausalityOracle::on_center_execute(const OpId& id,
+                                        const ot::OpList& /*executed*/) {
+  // The notifier executed the op: its knowledge absorbs the op's
+  // generation context plus the op itself, and that combined knowledge
+  // is what the issued form O' conveys to receivers.
+  center_knowledge_.merge(stamp_of(id));
+  issue_.emplace(id, center_knowledge_);
+}
+
+void CausalityOracle::on_client_join(SiteId site) {
+  CCVC_CHECK_MSG(site < site_clock_.size(),
+                 "construct the oracle with the session's maximum site "
+                 "count when using dynamic membership");
+  // The join snapshot embodies everything the notifier has executed.
+  site_clock_[site].merge(center_knowledge_);
+}
+
+void CausalityOracle::on_client_execute_center(
+    SiteId site, const OpId& id, const ot::OpList& /*executed*/) {
+  CCVC_CHECK(site >= 1 && site <= num_sites_);
+  auto it = issue_.find(id);
+  CCVC_CHECK_MSG(it != issue_.end(), "client executed an op never issued");
+  site_clock_[site].merge(it->second);
+}
+
+bool CausalityOracle::ground_truth_concurrent(
+    const engine::EventKey& incoming,
+    const engine::EventKey& buffered) const {
+  // Context the incoming operation was defined on when it reached the
+  // checking site.
+  const clocks::VersionVector* context = nullptr;
+  if (incoming.center_form && transforms_enabled_) {
+    auto it = issue_.find(incoming.id);
+    CCVC_CHECK(it != issue_.end());
+    context = &it->second;
+  } else {
+    // Original op — or an untransformed relay, which *is* the original
+    // (E8 ablation).
+    context = &stamp_of(incoming.id);
+  }
+  // Buffered content is causally prior iff its generation context is
+  // contained in the incoming context.
+  return !contained_in(stamp_of(buffered.id), *context);
+}
+
+void CausalityOracle::on_verdict(const engine::Verdict& verdict) {
+  ++verdicts_checked_;
+  if (verdict.concurrent) ++concurrent_verdicts_;
+  const bool truth =
+      ground_truth_concurrent(verdict.incoming, verdict.buffered);
+  if (truth != verdict.concurrent) {
+    ++verdict_mismatches_;
+    if (mismatch_samples_.size() < kMaxMismatchSamples) {
+      mismatch_samples_.push_back(verdict);
+    }
+  }
+}
+
+void CausalityOracle::on_mesh_generate(
+    SiteId site, const OpId& id, const clocks::VersionVector& /*stamp*/) {
+  CCVC_CHECK(site >= 1 && site <= num_sites_);
+  mesh_clock_[site].tick(site);
+  mesh_stamp_.emplace(id, mesh_clock_[site]);
+  mesh_delivered_[site][site] += 1;
+}
+
+void CausalityOracle::on_mesh_deliver(SiteId site, const OpId& id) {
+  CCVC_CHECK(site >= 1 && site <= num_sites_);
+  ++mesh_deliveries_;
+  auto it = mesh_stamp_.find(id);
+  CCVC_CHECK_MSG(it != mesh_stamp_.end(), "mesh delivered an unknown op");
+  const auto& stamp = it->second;
+  // Causal delivery: every op in this op's history must already be
+  // delivered here.  stamp[j] counts site-j ops in the history, the op
+  // itself included for its origin.
+  for (SiteId j = 1; j <= num_sites_; ++j) {
+    const std::uint64_t required = (j == id.site) ? stamp[j] - 1 : stamp[j];
+    if (mesh_delivered_[site][j] < required) {
+      ++mesh_causal_violations_;
+      break;
+    }
+  }
+  mesh_clock_[site].merge(stamp);
+  mesh_delivered_[site][id.site] += 1;
+}
+
+}  // namespace ccvc::sim

@@ -1,0 +1,111 @@
+// Ground-truth causality oracle (experiment E6/E8, DESIGN.md §6).
+//
+// The oracle observes protocol events and maintains its own full
+// (N+1)-element vector clocks *outside* the protocol under test, so it
+// can judge every concurrency verdict the compressed (or full-vector)
+// scheme produces without assuming what it is proving.
+//
+// Semantics.  The relation the checking scheme must capture is
+// *generation-context* causality over operation content: a buffered
+// operation Ob is causally before an incoming operation Oa iff Ob's
+// content (original or via the notifier's redefined form) was part of
+// the document context Oa was generated/issued on — that is the exact
+// condition under which Oa need not be transformed against Ob.  Per
+// event we therefore track:
+//   * stamp(O)    — the originating client's oracle clock at generation;
+//   * issue(O)    — the notifier's accumulated knowledge when it issued
+//                   the transformed form O' (everything it had executed,
+//                   including O itself);
+// and evaluate:  Ob ∥ context(Oa)  ⟺  ¬(stamp(Ob) ≤ context),
+// where context is issue(Oa) for an incoming center form and stamp(Oa)
+// for an incoming original.
+//
+// Ablation twist (E8): when the notifier does *not* transform, the
+// relayed operation is the original, so its causal context for a
+// receiving client is stamp(Oa), not issue(Oa).  The oracle is told the
+// engine mode via `transforms_enabled`; in ablation mode the very same
+// verdict stream that is flawless under transformation accumulates
+// mismatches — which is precisely the paper's §6 claim, quantified.
+//
+// The oracle also checks mesh causal delivery: every delivered message's
+// causal predecessors must already be delivered at that site.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "clocks/version_vector.hpp"
+#include "engine/observer.hpp"
+#include "util/types.hpp"
+
+namespace ccvc::sim {
+
+class CausalityOracle : public engine::EngineObserver {
+ public:
+  /// `num_sites` collaborating sites (1..N); the notifier is site 0.
+  /// For sessions with late joiners, pass the *maximum* site count the
+  /// session will reach.  `transforms_enabled` must match the engine's
+  /// EngineConfig.
+  explicit CausalityOracle(std::size_t num_sites,
+                           bool transforms_enabled = true);
+
+  // --- star engine ---------------------------------------------------
+  void on_client_generate(SiteId site, const OpId& id,
+                          const ot::OpList& executed) override;
+  void on_client_execute_center(SiteId site, const OpId& id,
+                                const ot::OpList& executed) override;
+  void on_center_execute(const OpId& id, const ot::OpList& executed) override;
+  void on_verdict(const engine::Verdict& verdict) override;
+  void on_client_join(SiteId site) override;
+
+  // --- mesh baseline ---------------------------------------------------
+  void on_mesh_generate(SiteId site, const OpId& id,
+                        const clocks::VersionVector& stamp) override;
+  void on_mesh_deliver(SiteId site, const OpId& id) override;
+
+  // --- results ---------------------------------------------------------
+  std::uint64_t verdicts_checked() const { return verdicts_checked_; }
+  std::uint64_t verdict_mismatches() const { return verdict_mismatches_; }
+  std::uint64_t concurrent_verdicts() const { return concurrent_verdicts_; }
+  /// First few mismatching verdicts, for diagnostics.
+  const std::vector<engine::Verdict>& mismatch_samples() const {
+    return mismatch_samples_;
+  }
+
+  std::uint64_t mesh_deliveries() const { return mesh_deliveries_; }
+  std::uint64_t mesh_causal_violations() const {
+    return mesh_causal_violations_;
+  }
+
+  /// Ground-truth concurrency for a (incoming, buffered) pair as seen by
+  /// the checking site — exposed for tests.
+  bool ground_truth_concurrent(const engine::EventKey& incoming,
+                               const engine::EventKey& buffered) const;
+
+ private:
+  const clocks::VersionVector& stamp_of(const OpId& id) const;
+
+  std::size_t num_sites_;
+  bool transforms_enabled_;
+
+  // Star state.
+  std::vector<clocks::VersionVector> site_clock_;      // [0..N]
+  clocks::VersionVector center_knowledge_;             // merged at site 0
+  std::unordered_map<OpId, clocks::VersionVector> stamp_;   // generation
+  std::unordered_map<OpId, clocks::VersionVector> issue_;   // center issue
+
+  std::uint64_t verdicts_checked_ = 0;
+  std::uint64_t verdict_mismatches_ = 0;
+  std::uint64_t concurrent_verdicts_ = 0;
+  std::vector<engine::Verdict> mismatch_samples_;
+
+  // Mesh state.
+  std::vector<clocks::VersionVector> mesh_clock_;        // [0..N]
+  std::unordered_map<OpId, clocks::VersionVector> mesh_stamp_;
+  std::vector<std::vector<std::uint64_t>> mesh_delivered_;  // [site][origin]
+  std::uint64_t mesh_deliveries_ = 0;
+  std::uint64_t mesh_causal_violations_ = 0;
+};
+
+}  // namespace ccvc::sim

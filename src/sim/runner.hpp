@@ -1,0 +1,56 @@
+// One-call experiment drivers: build a session, attach the oracle and
+// metrics collectors, run a workload to quiescence, and return a report.
+// Benches and integration tests are thin loops over these.
+#pragma once
+
+#include <string>
+
+#include "engine/session.hpp"
+#include "sim/workload.hpp"
+
+namespace ccvc::sim {
+
+struct StarRunReport {
+  bool converged = false;
+  std::string final_doc;               // the notifier's replica
+  std::uint64_t ops_generated = 0;
+
+  std::uint64_t messages = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t stamp_bytes = 0;
+  double avg_message_bytes = 0.0;
+  double avg_stamp_bytes = 0.0;
+  double max_stamp_bytes = 0.0;
+
+  std::uint64_t verdicts = 0;
+  std::uint64_t concurrent_verdicts = 0;
+  std::uint64_t verdict_mismatches = 0;  // vs the causality oracle
+
+  double propagation_p50_ms = 0.0;
+  double propagation_p99_ms = 0.0;
+  double sim_duration_ms = 0.0;
+};
+
+/// Runs a star session under the workload and validates every verdict
+/// against the causality oracle.
+StarRunReport run_star(const engine::StarSessionConfig& session_cfg,
+                       const WorkloadConfig& workload_cfg);
+
+struct MeshRunReport {
+  bool all_delivered = false;
+  std::uint64_t ops_generated = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t stamp_bytes = 0;
+  double avg_message_bytes = 0.0;
+  double avg_stamp_bytes = 0.0;
+  double max_stamp_bytes = 0.0;
+  std::uint64_t causal_violations = 0;
+  std::size_t clock_memory_per_site = 0;
+};
+
+/// Runs a mesh session (full-vector or SK stamping) under the workload.
+MeshRunReport run_mesh(const engine::MeshSessionConfig& session_cfg,
+                       const WorkloadConfig& workload_cfg);
+
+}  // namespace ccvc::sim

@@ -1,0 +1,29 @@
+#include "sim/scenario.hpp"
+
+#include "util/check.hpp"
+
+namespace ccvc::sim {
+
+engine::StarSessionConfig fig_scenario_config(
+    const engine::EngineConfig& eng) {
+  engine::StarSessionConfig cfg;
+  cfg.num_sites = 3;
+  cfg.initial_doc = "ABCDE";
+  cfg.engine = eng;
+  cfg.uplink = net::LatencyModel::fixed(10.0);
+  cfg.downlink = net::LatencyModel::fixed(10.0);
+  return cfg;
+}
+
+Fig3Ids schedule_fig_scenario(engine::StarSession& session) {
+  CCVC_CHECK_MSG(session.num_sites() == 3,
+                 "the figure scenario needs exactly 3 collaborating sites");
+  auto& q = session.queue();
+  q.schedule_at(0.0, [&session] { session.client(2).erase(2, 3); });
+  q.schedule_at(5.0, [&session] { session.client(1).insert(1, "12"); });
+  q.schedule_at(22.0, [&session] { session.client(3).insert(1, "y"); });
+  q.schedule_at(27.0, [&session] { session.client(2).insert(4, "x"); });
+  return Fig3Ids{};
+}
+
+}  // namespace ccvc::sim

@@ -1,0 +1,201 @@
+#include "sim/script.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ccvc::sim {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+  std::ostringstream os;
+  os << "script line " << line_no << ": " << msg;
+  throw ScriptError(os.str());
+}
+
+struct Statement {
+  std::size_t line_no = 0;
+  std::vector<std::string> words;
+};
+
+/// Splits a line into words, remembering the raw tail after `keep`
+/// words so `doc`/`insert` payloads may contain spaces.
+Statement parse_line(std::size_t line_no, const std::string& line) {
+  Statement st;
+  st.line_no = line_no;
+  std::istringstream is(line);
+  std::string w;
+  while (is >> w) {
+    if (w[0] == '#') break;
+    st.words.push_back(w);
+  }
+  return st;
+}
+
+/// Re-derives the rest-of-line payload after the first `n` words.
+std::string tail_after(const std::string& line, std::size_t n) {
+  std::istringstream is(line);
+  std::string w;
+  for (std::size_t i = 0; i < n; ++i) is >> w;
+  std::string rest;
+  std::getline(is, rest);
+  const std::size_t start = rest.find_first_not_of(' ');
+  return start == std::string::npos ? std::string() : rest.substr(start);
+}
+
+std::uint64_t to_u64(const Statement& st, const std::string& w) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(w, &used);
+    if (used != w.size()) throw std::invalid_argument(w);
+    return v;
+  } catch (const std::exception&) {
+    fail(st.line_no, "expected a number, got '" + w + "'");
+  }
+}
+
+double to_ms(const Statement& st, const std::string& w) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(w, &used);
+    if (used != w.size()) throw std::invalid_argument(w);
+    return v;
+  } catch (const std::exception&) {
+    fail(st.line_no, "expected a time, got '" + w + "'");
+  }
+}
+
+}  // namespace
+
+ScriptResult run_script(const std::string& text) {
+  // Pass 1: configuration lines (before the session can exist).
+  engine::StarSessionConfig cfg;
+  cfg.num_sites = 3;
+  cfg.uplink = net::LatencyModel::fixed(10.0);
+  cfg.downlink = net::LatencyModel::fixed(10.0);
+
+  std::vector<std::pair<Statement, std::string>> statements;  // + raw line
+  {
+    std::istringstream is(text);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+      ++line_no;
+      Statement st = parse_line(line_no, line);
+      if (st.words.empty()) continue;
+      statements.emplace_back(std::move(st), line);
+    }
+  }
+
+  for (const auto& [st, raw] : statements) {
+    const auto& w = st.words;
+    if (w[0] == "sites") {
+      if (w.size() != 2) fail(st.line_no, "sites N");
+      cfg.num_sites = static_cast<std::size_t>(to_u64(st, w[1]));
+    } else if (w[0] == "doc") {
+      cfg.initial_doc = tail_after(raw, 1);
+    } else if (w[0] == "latency") {
+      if (w.size() != 2) fail(st.line_no, "latency MS");
+      const double ms = to_ms(st, w[1]);
+      cfg.uplink = net::LatencyModel::fixed(ms);
+      cfg.downlink = net::LatencyModel::fixed(ms);
+    } else if (w[0] == "no-transform") {
+      cfg.engine.transform = false;
+      cfg.engine.check_fidelity = false;
+    }
+  }
+
+  ScriptResult result;
+  result.session = std::make_unique<engine::StarSession>(cfg);
+  engine::StarSession& session = *result.session;
+  bool ran = false;
+
+  auto ensure_ran = [&] {
+    if (!ran) {
+      session.run_to_quiescence();
+      ran = true;
+    }
+  };
+  auto expect = [&](bool ok, std::size_t line_no, const std::string& msg) {
+    if (!ok) {
+      result.failures.push_back("line " + std::to_string(line_no) + ": " +
+                                msg);
+    }
+  };
+
+  for (const auto& [st, raw] : statements) {
+    const auto& w = st.words;
+    if (w[0] == "sites" || w[0] == "doc" || w[0] == "latency" ||
+        w[0] == "no-transform") {
+      continue;  // handled in pass 1
+    }
+    if (w[0] == "at") {
+      if (w.size() < 3) fail(st.line_no, "at T <action>...");
+      const double t = to_ms(st, w[1]);
+      if (w[2] == "join") {
+        session.queue().schedule_at(t, [&session] { session.add_client(); });
+      } else if (w[2] == "leave") {
+        if (w.size() != 4) fail(st.line_no, "at T leave I");
+        const auto site = static_cast<SiteId>(to_u64(st, w[3]));
+        session.queue().schedule_at(
+            t, [&session, site] { session.remove_client(site); });
+      } else if (w[2] == "site") {
+        if (w.size() < 5) fail(st.line_no, "at T site I insert|delete ...");
+        const auto site = static_cast<SiteId>(to_u64(st, w[3]));
+        if (w[4] == "insert") {
+          if (w.size() < 6) fail(st.line_no, "at T site I insert P TEXT");
+          const auto pos = static_cast<std::size_t>(to_u64(st, w[5]));
+          const std::string payload = tail_after(raw, 6);
+          if (payload.empty()) fail(st.line_no, "insert needs text");
+          session.queue().schedule_at(t, [&session, site, pos, payload] {
+            session.client(site).insert(pos, payload);
+          });
+        } else if (w[4] == "delete") {
+          if (w.size() != 7) fail(st.line_no, "at T site I delete P N");
+          const auto pos = static_cast<std::size_t>(to_u64(st, w[5]));
+          const auto n = static_cast<std::size_t>(to_u64(st, w[6]));
+          session.queue().schedule_at(t, [&session, site, pos, n] {
+            session.client(site).erase(pos, n);
+          });
+        } else {
+          fail(st.line_no, "unknown site action '" + w[4] + "'");
+        }
+      } else {
+        fail(st.line_no, "unknown action '" + w[2] + "'");
+      }
+    } else if (w[0] == "run") {
+      session.run_to_quiescence();
+      ran = true;
+    } else if (w[0] == "expect-converged") {
+      ensure_ran();
+      expect(session.converged(), st.line_no, "replicas diverged");
+    } else if (w[0] == "expect-diverged") {
+      ensure_ran();
+      expect(!session.converged(), st.line_no,
+             "replicas unexpectedly converged");
+    } else if (w[0] == "expect-doc") {
+      ensure_ran();
+      const std::string want = tail_after(raw, 1);
+      expect(session.notifier().text() == want, st.line_no,
+             "notifier doc is \"" + session.notifier().text() +
+                 "\", expected \"" + want + "\"");
+    } else if (w[0] == "expect-doc-at") {
+      if (w.size() < 2) fail(st.line_no, "expect-doc-at I TEXT");
+      ensure_ran();
+      const auto site = static_cast<SiteId>(to_u64(st, w[1]));
+      const std::string want = tail_after(raw, 2);
+      expect(session.client(site).text() == want, st.line_no,
+             "site " + std::to_string(site) + " doc is \"" +
+                 session.client(site).text() + "\", expected \"" + want +
+                 "\"");
+    } else {
+      fail(st.line_no, "unknown statement '" + w[0] + "'");
+    }
+  }
+
+  result.passed = result.failures.empty();
+  return result;
+}
+
+}  // namespace ccvc::sim

@@ -1,0 +1,52 @@
+// Scenario scripts: tiny text files that describe a star-session
+// schedule and its expected outcome.  Scenarios-as-data keep regression
+// corpora readable and diffable; the Fig. 2/Fig. 3 schedules and the
+// convergence puzzles in tests/integration/scripts_test.cpp are written
+// in it.
+//
+// Grammar (one statement per line; a word starting with '#' comments out
+// the rest of the line — EXCEPT inside trailing TEXT payloads, which run
+// to end of line verbatim, so no inline comments after insert/doc/
+// expect-doc text):
+//
+//   sites N                  — collaborating sites (default 3)
+//   doc TEXT                 — initial document (rest of line, may be empty)
+//   latency MS               — fixed one-way latency, both directions
+//   no-transform             — E8 ablation mode
+//   at T site I insert P TEXT    — schedule Insert[TEXT, P] at sim-time T
+//   at T site I delete P N       — schedule Delete[N, P]
+//   at T join                    — a new site joins (its id is N+1, N+2, ...)
+//   at T leave I                 — site I departs
+//   run                      — deliver everything (drain the queue)
+//   expect-converged         — assert all active replicas identical
+//   expect-diverged          — assert they are NOT identical
+//   expect-doc TEXT          — assert the notifier's document
+//   expect-doc-at I TEXT     — assert site I's document
+//
+// `run` is implicit before any expect-* if omitted.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/session.hpp"
+
+namespace ccvc::sim {
+
+struct ScriptResult {
+  bool passed = false;
+  std::vector<std::string> failures;  // one message per failed expectation
+  std::unique_ptr<engine::StarSession> session;  // inspectable afterwards
+};
+
+/// Parses and executes a scenario script.  Malformed scripts throw
+/// ScriptError with a line diagnostic.
+ScriptResult run_script(const std::string& text);
+
+class ScriptError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace ccvc::sim

@@ -1,0 +1,53 @@
+// Lightweight runtime-contract macros.
+//
+// CCVC_CHECK is always on and throws ccvc::ContractViolation — protocol
+// invariants in this library are cheap to test and a silent violation
+// would corrupt replicated state, so they stay enabled in release builds.
+// CCVC_DCHECK compiles away in NDEBUG builds and is for hot-path
+// assertions (per-character transform loops and the like).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ccvc {
+
+/// Thrown when a CCVC_CHECK contract fails.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CCVC_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+}  // namespace ccvc
+
+#define CCVC_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::ccvc::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define CCVC_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::ccvc::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define CCVC_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define CCVC_DCHECK(expr) CCVC_CHECK(expr)
+#endif

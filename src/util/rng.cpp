@@ -1,0 +1,70 @@
+#include "util/rng.hpp"
+
+namespace ccvc::util {
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  CCVC_CHECK(bound > 0);
+  // Lemire's nearly-divisionless bounded generation.
+  std::uint64_t x = gen_();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = gen_();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  CCVC_CHECK(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span == 0 means the full 64-bit range [lo, hi].
+  const std::uint64_t r = (span == 0) ? gen_() : below(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + r);
+}
+
+double Rng::uniform01() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  CCVC_CHECK(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::normal() {
+  // Box–Muller; discard the spare to keep the stream position a pure
+  // function of call count.
+  double u1 = uniform01();
+  while (u1 <= 0.0) u1 = uniform01();
+  const double u2 = uniform01();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(mu + sigma * normal());
+}
+
+double Rng::exponential(double mean) {
+  CCVC_CHECK(mean > 0.0);
+  double u = uniform01();
+  while (u <= 0.0) u = uniform01();
+  return -mean * std::log(u);
+}
+
+Rng Rng::fork() { return Rng(gen_()); }
+
+}  // namespace ccvc::util

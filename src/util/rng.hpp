@@ -1,0 +1,120 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Everything in the simulator must be reproducible from a single seed, so
+// we supply our own generators rather than relying on implementation-
+// defined std::default_random_engine behaviour:
+//
+//  * SplitMix64 — used for seeding and hashing; passes through any 64-bit
+//    seed to a well-distributed stream.
+//  * Xoshiro256StarStar — the workhorse generator; satisfies
+//    std::uniform_random_bit_generator so it composes with <random>
+//    distributions where convenient, but the helpers below avoid
+//    std distributions entirely for cross-platform determinism.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace ccvc::util {
+
+/// Fast seeding/mixing generator (Steele, Lea & Flood 2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna 2018).  Deterministic across
+/// platforms; state seeded via SplitMix64 so any 64-bit seed is fine.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x5eedu) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Deterministic random helpers on top of Xoshiro256StarStar.  All methods
+/// are bias-free where cheap to be (Lemire's method for bounded ints).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedu) : gen_(seed) {}
+
+  /// Uniform in [0, bound).  bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// true with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double normal();
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Uniformly pick an index into a container of the given size (> 0).
+  std::size_t index(std::size_t size) {
+    return static_cast<std::size_t>(below(size));
+  }
+
+  /// Derive an independent child generator (for per-site streams).
+  Rng fork();
+
+  Xoshiro256StarStar& engine() { return gen_; }
+
+ private:
+  Xoshiro256StarStar gen_;
+};
+
+}  // namespace ccvc::util

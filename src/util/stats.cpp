@@ -1,0 +1,61 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ccvc::util {
+
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Histogram::add(double x) {
+  acc_.add(x);
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+double Histogram::percentile(double p) const {
+  CCVC_CHECK(p >= 0.0 && p <= 100.0);
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  // Nearest-rank definition.
+  const auto n = samples_.size();
+  auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return samples_[rank - 1];
+}
+
+std::string Histogram::brief() const {
+  std::ostringstream os;
+  os << "n=" << count() << " mean=" << mean() << " p50=" << percentile(50)
+     << " p95=" << percentile(95) << " p99=" << percentile(99)
+     << " max=" << max();
+  return os.str();
+}
+
+}  // namespace ccvc::util

@@ -1,0 +1,63 @@
+// Streaming statistics for simulation metrics.
+//
+// Accumulator keeps count/min/max/mean/variance in O(1) space (Welford's
+// online algorithm).  Histogram additionally records all samples so
+// percentiles can be reported for latency distributions; sessions in this
+// project are small enough (≤ a few million samples) that exact
+// percentiles are affordable and avoid quantile-sketch error bars in
+// EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccvc::util {
+
+/// O(1)-space online mean/variance/min/max accumulator.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return count_ ? mean_ * static_cast<double>(count_) : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact-percentile sample recorder built on Accumulator.
+class Histogram {
+ public:
+  void add(double x);
+
+  const Accumulator& summary() const { return acc_; }
+  std::size_t count() const { return acc_.count(); }
+  double mean() const { return acc_.mean(); }
+  double min() const { return acc_.min(); }
+  double max() const { return acc_.max(); }
+
+  /// Exact percentile by nearest-rank; p in [0, 100].
+  double percentile(double p) const;
+
+  /// "mean=… p50=… p99=… max=…" summary line.
+  std::string brief() const;
+
+ private:
+  Accumulator acc_;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace ccvc::util

@@ -1,0 +1,33 @@
+// Plain-text table renderer used by benchmark binaries and examples to
+// print paper-style result tables (right-aligned numeric columns,
+// left-aligned labels, a header rule).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ccvc::util {
+
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Renders the table with aligned columns and a rule under the header.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ccvc::util

@@ -1,0 +1,55 @@
+// Fundamental identifier types shared by every subsystem.
+//
+// Site identifiers follow the paper's convention: the notifier is site 0
+// and the N collaborating sites are 1..N.  Operation identifiers pair the
+// originating site with a per-site generation sequence number; they name
+// the *original* operation, so every transformed form of an operation
+// keeps the OpId of the operation it was derived from.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ccvc {
+
+/// Identifier of a collaborating site.  0 is reserved for the notifier.
+using SiteId = std::uint32_t;
+
+/// Site id of the central notifier in the star topology.
+inline constexpr SiteId kNotifierSite = 0;
+
+/// Per-site, monotonically increasing generation counter (1-based).
+using SeqNo = std::uint64_t;
+
+/// Globally unique name of an *original* operation: (origin site,
+/// generation sequence at that site).  Transformed forms keep the id of
+/// the operation they were derived from.
+struct OpId {
+  SiteId site = 0;
+  SeqNo seq = 0;
+
+  friend auto operator<=>(const OpId&, const OpId&) = default;
+};
+
+/// Renders "s<site>#<seq>", e.g. "s2#1" for the first op of site 2.
+inline std::string to_string(const OpId& id) {
+  return "s" + std::to_string(id.site) + "#" + std::to_string(id.seq);
+}
+
+}  // namespace ccvc
+
+template <>
+struct std::hash<ccvc::OpId> {
+  std::size_t operator()(const ccvc::OpId& id) const noexcept {
+    // splitmix-style mix of the two fields.
+    std::uint64_t x = (static_cast<std::uint64_t>(id.site) << 48) ^ id.seq;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};

@@ -1,0 +1,218 @@
+// Unit tests of the paper's §3-§4 machinery: SV maintenance rules,
+// eq. (1)-(2) compression, and formulas (4)-(7), including the exact
+// numbers of the §5 walkthrough.
+#include "clocks/compressed_sv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace ccvc::clocks {
+namespace {
+
+TEST(CompressedSv, PaperIndexingIsOneBased) {
+  const CompressedSv sv{3, 7};
+  EXPECT_EQ(sv.at(1), 3u);
+  EXPECT_EQ(sv.at(2), 7u);
+  EXPECT_THROW(sv.at(0), ContractViolation);
+  EXPECT_THROW(sv.at(3), ContractViolation);
+}
+
+TEST(CompressedSv, WireRoundTripIsTwoSmallVarints) {
+  const CompressedSv sv{5, 130};
+  util::ByteSink sink;
+  sv.encode(sink);
+  EXPECT_EQ(sink.size(), 3u);  // 1 byte + 2 bytes
+  EXPECT_EQ(sink.size(), sv.encoded_size());
+  util::ByteSource src(sink.bytes());
+  EXPECT_EQ(CompressedSv::decode(src), sv);
+}
+
+TEST(CompressedSv, Render) { EXPECT_EQ((CompressedSv{1, 2}).str(), "[1,2]"); }
+
+TEST(ClientClock, MaintenanceRules) {
+  // §3.2: SV_i starts at [0,0]; rule 2 bumps element 1, rule 3 bumps
+  // element 2.
+  ClientClock c;
+  EXPECT_EQ(c.stamp(), (CompressedSv{0, 0}));
+  c.on_local_op_executed();
+  EXPECT_EQ(c.stamp(), (CompressedSv{0, 1}));
+  c.on_center_op_executed();
+  c.on_center_op_executed();
+  EXPECT_EQ(c.stamp(), (CompressedSv{2, 1}));
+}
+
+TEST(NotifierClock, MaintenanceAndCompression) {
+  // 3 collaborating sites, as in Fig. 3.
+  NotifierClock n(3);
+  EXPECT_EQ(n.num_sites(), 3u);
+  EXPECT_EQ(n.full().str(), "[0,0,0,0]");  // slot 0 unused
+
+  // §5: after executing O2 from site 2, SV_0 = [0,1,0] (site-indexed).
+  n.on_op_from(2);
+  EXPECT_EQ(n.from(2), 1u);
+  EXPECT_EQ(n.total(), 1u);
+  // Eq. (1)-(2): O'2 to site 1 and to site 3 both stamped [1,0].
+  EXPECT_EQ(n.stamp_for(1), (CompressedSv{1, 0}));
+  EXPECT_EQ(n.stamp_for(3), (CompressedSv{1, 0}));
+  // ...and for the (never-used) echo destination 2 it would be [0,1].
+  EXPECT_EQ(n.stamp_for(2), (CompressedSv{0, 1}));
+
+  // After executing O1 from site 1: SV_0 = [1,1,0].
+  n.on_op_from(1);
+  EXPECT_EQ(n.stamp_for(2), (CompressedSv{1, 1}));  // §5: O'1 to site 2
+  EXPECT_EQ(n.stamp_for(3), (CompressedSv{2, 0}));  // §5: O'1 to site 3
+
+  // After executing O4 from site 3: SV_0 = [1,1,1].
+  n.on_op_from(3);
+  EXPECT_EQ(n.stamp_for(1), (CompressedSv{2, 1}));  // §5: O'4 to site 1
+  EXPECT_EQ(n.stamp_for(2), (CompressedSv{2, 1}));  // §5: O'4 to site 2
+
+  // After executing O3 from site 2: SV_0 = [1,2,1].
+  n.on_op_from(2);
+  EXPECT_EQ(n.stamp_for(1), (CompressedSv{3, 1}));  // §5: O'3 to site 1
+  EXPECT_EQ(n.stamp_for(3), (CompressedSv{3, 1}));  // §5: O'3 to site 3
+
+  EXPECT_EQ(n.full().str(), "[0,1,2,1]");
+  EXPECT_EQ(n.total(), 4u);
+}
+
+TEST(NotifierClock, RejectsBadSites) {
+  NotifierClock n(3);
+  EXPECT_THROW(n.on_op_from(0), ContractViolation);
+  EXPECT_THROW(n.on_op_from(4), ContractViolation);
+  EXPECT_THROW(n.stamp_for(0), ContractViolation);
+}
+
+TEST(NotifierClock, CompressionMatchesNaiveSum) {
+  // The O(1) running-sum stamp must equal eq. (1) computed the slow way.
+  NotifierClock n(5);
+  const SiteId pattern[] = {1, 2, 2, 3, 5, 5, 5, 4, 1, 2};
+  for (SiteId s : pattern) {
+    n.on_op_from(s);
+    for (SiteId dest = 1; dest <= 5; ++dest) {
+      const CompressedSv fast = n.stamp_for(dest);
+      EXPECT_EQ(fast.from_center, n.full().sum_except(dest));
+      EXPECT_EQ(fast.from_site, n.full()[dest]);
+    }
+  }
+}
+
+// --- formulas (4)/(5) at a client -------------------------------------
+
+TEST(ClientCheck, Formula5LocalBufferedOp) {
+  // §5: O'2 arrives at site 1 with [1,0]; buffered local O1 has [0,1]:
+  // concurrent because T_O1[2] = 1 > T_O'2[2] = 0.
+  EXPECT_TRUE(concurrent_at_client(CompressedSv{1, 0}, CompressedSv{0, 1},
+                                   HbSource::kLocal));
+  // §5: O'1 arrives at site 2 with [1,1]; buffered local O2 has [0,1]:
+  // NOT concurrent because T_O2[2] = T_O'1[2] = 1.
+  EXPECT_FALSE(concurrent_at_client(CompressedSv{1, 1}, CompressedSv{0, 1},
+                                    HbSource::kLocal));
+}
+
+TEST(ClientCheck, Formula5CenterBufferedOpNeverConcurrent) {
+  // §5 at site 3: O'1 [2,0] vs buffered O'2 [1,0]: not concurrent.
+  EXPECT_FALSE(concurrent_at_client(CompressedSv{2, 0}, CompressedSv{1, 0},
+                                    HbSource::kFromCenter));
+  // FIFO makes T_Ob[1] <= T_Oa[1] for every buffered center op, so the
+  // check can never fire for them.
+  EXPECT_FALSE(concurrent_at_client(CompressedSv{5, 2}, CompressedSv{5, 1},
+                                    HbSource::kFromCenter));
+}
+
+TEST(ClientCheck, Formula4AgreesWithFormula5WhenPreconditionHolds) {
+  // Formula (4) adds the conjunct T_Oa[1] > T_Ob[1], guaranteed by FIFO
+  // for genuinely buffered ops.  Sweep stamps satisfying it and compare.
+  for (std::uint64_t oa1 = 0; oa1 < 4; ++oa1) {
+    for (std::uint64_t oa2 = 0; oa2 < 4; ++oa2) {
+      for (std::uint64_t ob1 = 0; ob1 < oa1; ++ob1) {  // FIFO precondition
+        for (std::uint64_t ob2 = 0; ob2 < 4; ++ob2) {
+          const CompressedSv ta{oa1, oa2};
+          const CompressedSv tb{ob1, ob2};
+          EXPECT_EQ(concurrent_at_client_full(ta, tb, HbSource::kLocal),
+                    concurrent_at_client(ta, tb, HbSource::kLocal));
+        }
+      }
+    }
+  }
+}
+
+// --- formulas (6)/(7) at the notifier ----------------------------------
+
+VersionVector vv(std::vector<std::uint64_t> v) {
+  return VersionVector(std::move(v));
+}
+
+TEST(NotifierCheck, Formula7Section5Cases) {
+  // §5, handling O1 (from site 1, stamp [0,1]) against buffered O'2
+  // (origin 2, full stamp [0,0,1,0]): concurrent, Σ_{j≠1} = 1 > 0.
+  EXPECT_TRUE(concurrent_at_notifier(CompressedSv{0, 1}, 1,
+                                     vv({0, 0, 1, 0}), 2));
+
+  // §5, handling O4 (site 3, [1,1]) against O'2 [0,0,1,0]: Σ_{j≠3} = 1
+  // == T_O4[1] = 1 -> not concurrent; against O'1 [0,1,1,0]: Σ_{j≠3} = 2
+  // > 1 -> concurrent.
+  EXPECT_FALSE(concurrent_at_notifier(CompressedSv{1, 1}, 3,
+                                      vv({0, 0, 1, 0}), 2));
+  EXPECT_TRUE(concurrent_at_notifier(CompressedSv{1, 1}, 3,
+                                     vv({0, 1, 1, 0}), 1));
+
+  // §5, handling O3 (site 2, [1,2]): against O'2 (origin 2): same site ->
+  // not concurrent; against O'1 [0,1,1,0]: Σ_{j≠2} = 1 == 1 -> not;
+  // against O'4 [0,1,1,1]: Σ_{j≠2} = 2 > 1 -> concurrent.
+  EXPECT_FALSE(concurrent_at_notifier(CompressedSv{1, 2}, 2,
+                                      vv({0, 0, 1, 0}), 2));
+  EXPECT_FALSE(concurrent_at_notifier(CompressedSv{1, 2}, 2,
+                                      vv({0, 1, 1, 0}), 1));
+  EXPECT_TRUE(concurrent_at_notifier(CompressedSv{1, 2}, 2,
+                                     vv({0, 1, 1, 1}), 3));
+}
+
+TEST(NotifierCheck, O1VariantMatchesVectorVariant) {
+  for (std::uint64_t a = 0; a < 3; ++a) {
+    for (std::uint64_t b = 0; b < 3; ++b) {
+      for (std::uint64_t c = 0; c < 3; ++c) {
+        const VersionVector full = vv({0, a, b, c});
+        for (SiteId x = 1; x <= 3; ++x) {
+          for (SiteId y = 1; y <= 3; ++y) {
+            for (std::uint64_t t1 = 0; t1 < 4; ++t1) {
+              const CompressedSv ta{t1, 1};
+              EXPECT_EQ(concurrent_at_notifier(ta, x, full, y),
+                        concurrent_at_notifier_o1(ta, x, full.sum(), full[x],
+                                                  y));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(NotifierCheck, Formula6AgreesWithFormula7WhenPreconditionsHold) {
+  // Formula (6)'s extra conjunct T_Oa[2] > T_Ob[x] is guaranteed by FIFO
+  // (the notifier has not yet counted Oa).  With that imposed, and x ≠ y
+  // (same-site is FIFO-ordered), (6) reduces to (7).
+  for (std::uint64_t a = 0; a < 3; ++a) {
+    for (std::uint64_t b = 0; b < 3; ++b) {
+      for (std::uint64_t c = 0; c < 3; ++c) {
+        const VersionVector full = vv({0, a, b, c});
+        for (SiteId x = 1; x <= 3; ++x) {
+          for (SiteId y = 1; y <= 3; ++y) {
+            if (x == y) continue;
+            for (std::uint64_t t1 = 0; t1 < 4; ++t1) {
+              const CompressedSv ta{t1, full[x] + 1};  // precondition
+              EXPECT_EQ(concurrent_at_notifier_full(ta, x, full, y),
+                        concurrent_at_notifier(ta, x, full, y))
+                  << "x=" << x << " y=" << y << " full=" << full.str()
+                  << " ta=" << ta.str();
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccvc::clocks

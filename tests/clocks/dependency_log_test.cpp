@@ -1,0 +1,130 @@
+// Fowler–Zwaenepoel offline dependency tracking: reconstruction must
+// agree exactly with an on-line full-vector-clock run over the same
+// event sequence.
+#include "clocks/dependency_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ccvc::clocks {
+namespace {
+
+TEST(DependencyLog, LocalChainOnly) {
+  DependencyTracker t(2);
+  const EventId a = t.local_event(0);
+  const EventId b = t.local_event(0);
+  const EventId c = t.local_event(1);
+  EXPECT_TRUE(t.happened_before(a, b));
+  EXPECT_FALSE(t.happened_before(b, a));
+  EXPECT_TRUE(t.concurrent(a, c));
+  EXPECT_EQ(t.reconstruct(b),
+            VersionVector(std::vector<std::uint64_t>{2, 0}));
+}
+
+TEST(DependencyLog, MessageCreatesCrossDependency) {
+  DependencyTracker t(3);
+  const EventId send = t.local_event(0);
+  const EventId recv = t.receive_event(1, send);
+  const EventId after = t.local_event(1);
+  EXPECT_TRUE(t.happened_before(send, recv));
+  EXPECT_TRUE(t.happened_before(send, after));
+  EXPECT_FALSE(t.happened_before(after, send));
+  EXPECT_EQ(t.reconstruct(after),
+            VersionVector(std::vector<std::uint64_t>{1, 2, 0}));
+}
+
+TEST(DependencyLog, TransitivityThroughRelay) {
+  // 0 -> 1 -> 2: process 2 depends on 0's event only transitively.
+  DependencyTracker t(3);
+  const EventId s0 = t.local_event(0);
+  t.receive_event(1, s0);
+  const EventId s1 = t.local_event(1);
+  const EventId r2 = t.receive_event(2, s1);
+  EXPECT_TRUE(t.happened_before(s0, r2));
+  EXPECT_EQ(t.reconstruct(r2),
+            VersionVector(std::vector<std::uint64_t>{1, 2, 1}));
+}
+
+TEST(DependencyLog, SelfIsNotItsOwnPredecessor) {
+  DependencyTracker t(1);
+  const EventId e = t.local_event(0);
+  EXPECT_FALSE(t.happened_before(e, e));
+  EXPECT_FALSE(t.concurrent(e, e));
+}
+
+TEST(DependencyLog, UnknownReceiveReferenceThrows) {
+  DependencyTracker t(2);
+  EXPECT_THROW(t.receive_event(0, EventId{1, 5}), ContractViolation);
+}
+
+TEST(DependencyLog, LogSizeCountsEverything) {
+  DependencyTracker t(2);
+  const EventId s = t.local_event(0);
+  t.local_event(0);
+  t.receive_event(1, s);
+  EXPECT_EQ(t.log_size(), 3u);
+}
+
+class FzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FzSweep, ReconstructionMatchesOnlineVectorClocks) {
+  // Random FIFO-less message pattern (FZ needs no FIFO): compare every
+  // event's reconstructed vector time against a parallel on-line
+  // full-vector protocol.
+  util::Rng rng(GetParam());
+  const std::size_t n = 5;
+  DependencyTracker tracker(n);
+
+  std::vector<VersionVector> clock(n, VersionVector(n));
+  struct Sent {
+    EventId id;
+    VersionVector stamp;
+  };
+  std::deque<Sent> in_flight;
+  std::vector<std::pair<EventId, VersionVector>> all_events;
+
+  for (int step = 0; step < 400; ++step) {
+    const auto p = static_cast<SiteId>(rng.index(n));
+    if (!in_flight.empty() && rng.chance(0.4)) {
+      const std::size_t k = rng.index(in_flight.size());
+      const Sent msg = in_flight[k];
+      in_flight.erase(in_flight.begin() + static_cast<std::ptrdiff_t>(k));
+      const EventId e = tracker.receive_event(p, msg.id);
+      clock[p].merge(msg.stamp);
+      clock[p].tick(p);
+      all_events.emplace_back(e, clock[p]);
+    } else {
+      const EventId e = tracker.local_event(p);
+      clock[p].tick(p);
+      all_events.emplace_back(e, clock[p]);
+      if (rng.chance(0.7)) in_flight.push_back(Sent{e, clock[p]});
+    }
+  }
+
+  for (std::size_t i = 0; i < all_events.size(); i += 3) {
+    ASSERT_EQ(tracker.reconstruct(all_events[i].first),
+              all_events[i].second)
+        << "event " << i;
+  }
+  // Pairwise relations agree with vector-clock comparison.
+  for (std::size_t i = 0; i < all_events.size(); i += 17) {
+    for (std::size_t j = 0; j < all_events.size(); j += 13) {
+      if (i == j) continue;
+      const bool fz =
+          tracker.happened_before(all_events[i].first, all_events[j].first);
+      const bool vc =
+          all_events[i].second.happened_before(all_events[j].second);
+      ASSERT_EQ(fz, vc) << i << " vs " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FzSweep,
+                         ::testing::Values(3u, 14u, 159u, 2653u));
+
+}  // namespace
+}  // namespace ccvc::clocks

@@ -1,0 +1,150 @@
+// Singhal–Kshemkalyani baseline: the differential protocol must
+// reconstruct exactly the clocks a full-vector protocol would produce
+// (under FIFO channels), while shipping fewer entries — but linearly
+// many in the worst case, which is the paper's critique.
+#include "clocks/sk_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ccvc::clocks {
+namespace {
+
+TEST(SkClock, FirstMessageCarriesOnlySenderComponent) {
+  SkProcess p(0, 3);
+  const SkTimestamp ts = p.prepare_send(1);
+  // Only p's own component has been updated since LS[1] = 0.
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].site, 0u);
+  EXPECT_EQ(ts[0].value, 1u);  // the send event itself
+}
+
+TEST(SkClock, SecondMessageToSamePeerCarriesOnlyNews) {
+  SkProcess p(0, 4);
+  (void)p.prepare_send(1);
+  // Nothing else happened; the next message to 1 carries just the new
+  // send event's own-component bump.
+  const SkTimestamp ts = p.prepare_send(1);
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].site, 0u);
+  EXPECT_EQ(ts[0].value, 2u);
+}
+
+TEST(SkClock, ReceiveMergesEntriesAndTicks) {
+  SkProcess a(0, 3);
+  SkProcess b(1, 3);
+  const SkTimestamp ts = a.prepare_send(1);
+  b.on_receive(ts);
+  EXPECT_EQ(b.clock()[0], 1u);  // learned a's event
+  EXPECT_EQ(b.clock()[1], 1u);  // the receive ticked b
+}
+
+TEST(SkClock, RelayedKnowledgePropagates) {
+  // a -> b, then b -> c: c must learn a's component through b.
+  SkProcess a(0, 3), b(1, 3), c(2, 3);
+  b.on_receive(a.prepare_send(1));
+  c.on_receive(b.prepare_send(2));
+  EXPECT_EQ(c.clock()[0], 1u);
+  EXPECT_EQ(c.clock()[1], 2u);  // b's receive + send events
+  EXPECT_EQ(c.clock()[2], 1u);
+}
+
+TEST(SkClock, SecondSendOmitsUnchangedThirdPartyComponents) {
+  SkProcess a(0, 3), b(1, 3);
+  b.on_receive(a.prepare_send(1));
+  // b sends twice to 2; second message must not repeat a's component.
+  const SkTimestamp first = b.prepare_send(2);
+  const SkTimestamp second = b.prepare_send(2);
+  EXPECT_EQ(first.size(), 2u);   // b's own + a's component
+  EXPECT_EQ(second.size(), 1u);  // just b's own bump
+}
+
+TEST(SkClock, MemoryIsThreeVectors) {
+  const SkProcess p(0, 64);
+  EXPECT_EQ(p.memory_bytes(), 3u * 64u * sizeof(std::uint64_t));
+}
+
+TEST(SkClock, WireRoundTrip) {
+  const SkTimestamp ts{{2, 300}, {5, 1}};
+  util::ByteSink sink;
+  encode_sk(ts, sink);
+  EXPECT_EQ(sink.size(), sk_encoded_size(ts));
+  util::ByteSource src(sink.bytes());
+  EXPECT_EQ(decode_sk(src), ts);
+}
+
+// Reference implementation: the classic full-vector protocol with the
+// same event structure (tick on send/receive, merge on receive).
+class FullVcProcess {
+ public:
+  FullVcProcess(SiteId self, std::size_t n) : self_(self), v_(n) {}
+  VersionVector send() {
+    v_.tick(self_);
+    return v_;
+  }
+  void receive(const VersionVector& stamp) {
+    v_.tick(self_);
+    v_.merge(stamp);
+  }
+  const VersionVector& clock() const { return v_; }
+
+ private:
+  SiteId self_;
+  VersionVector v_;
+};
+
+class SkEquivalenceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SkEquivalenceSweep, ReconstructsFullVectorClocks) {
+  // Random FIFO exchanges among n processes; after every delivery the SK
+  // clock must equal the reference full-vector clock.
+  util::Rng rng(GetParam());
+  const std::size_t n = 5;
+  std::vector<SkProcess> sk;
+  std::vector<FullVcProcess> ref;
+  for (SiteId i = 0; i < n; ++i) {
+    sk.emplace_back(i, n);
+    ref.emplace_back(i, n);
+  }
+
+  struct InFlight {
+    SkTimestamp sk_ts;
+    VersionVector ref_ts;
+  };
+  // FIFO queue per (from, to).
+  std::vector<std::vector<std::deque<InFlight>>> wire(
+      n, std::vector<std::deque<InFlight>>(n));
+
+  for (int step = 0; step < 600; ++step) {
+    const auto from = static_cast<SiteId>(rng.index(n));
+    if (rng.chance(0.55)) {
+      auto to = static_cast<SiteId>(rng.index(n - 1));
+      if (to >= from) ++to;
+      wire[from][to].push_back(
+          InFlight{sk[from].prepare_send(to), ref[from].send()});
+    } else {
+      // deliver the oldest message on a random non-empty channel
+      std::vector<std::pair<SiteId, SiteId>> nonempty;
+      for (SiteId i = 0; i < n; ++i)
+        for (SiteId j = 0; j < n; ++j)
+          if (!wire[i][j].empty()) nonempty.emplace_back(i, j);
+      if (nonempty.empty()) continue;
+      const auto [i, j] = nonempty[rng.index(nonempty.size())];
+      const InFlight m = wire[i][j].front();
+      wire[i][j].pop_front();
+      sk[j].on_receive(m.sk_ts);
+      ref[j].receive(m.ref_ts);
+      ASSERT_EQ(sk[j].clock(), ref[j].clock()) << "at step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkEquivalenceSweep,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace ccvc::clocks

@@ -1,0 +1,139 @@
+#include "clocks/version_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ccvc::clocks {
+namespace {
+
+TEST(VersionVector, StartsAtZero) {
+  const VersionVector v(4);
+  EXPECT_EQ(v.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], 0u);
+  EXPECT_EQ(v.sum(), 0u);
+}
+
+TEST(VersionVector, TickAdvancesOneComponent) {
+  VersionVector v(3);
+  v.tick(1);
+  v.tick(1);
+  v.tick(2);
+  EXPECT_EQ(v[0], 0u);
+  EXPECT_EQ(v[1], 2u);
+  EXPECT_EQ(v[2], 1u);
+  EXPECT_EQ(v.sum(), 3u);
+  EXPECT_EQ(v.sum_except(1), 1u);
+}
+
+TEST(VersionVector, TickOutOfRangeThrows) {
+  VersionVector v(2);
+  EXPECT_THROW(v.tick(2), ContractViolation);
+}
+
+TEST(VersionVector, MergeIsComponentwiseMax) {
+  VersionVector a(std::vector<std::uint64_t>{1, 5, 0});
+  const VersionVector b(std::vector<std::uint64_t>{2, 3, 4});
+  a.merge(b);
+  EXPECT_EQ(a, VersionVector(std::vector<std::uint64_t>{2, 5, 4}));
+}
+
+TEST(VersionVector, MergeSizeMismatchThrows) {
+  VersionVector a(2);
+  const VersionVector b(3);
+  EXPECT_THROW(a.merge(b), ContractViolation);
+}
+
+TEST(VersionVector, MergeComponent) {
+  VersionVector v(3);
+  EXPECT_TRUE(v.merge_component(1, 4));
+  EXPECT_FALSE(v.merge_component(1, 3));  // lower: no change
+  EXPECT_FALSE(v.merge_component(1, 4));  // equal: no change
+  EXPECT_EQ(v[1], 4u);
+}
+
+TEST(VersionVector, CompareAllOrders) {
+  using V = std::vector<std::uint64_t>;
+  const VersionVector a(V{1, 2, 3});
+  EXPECT_EQ(a.compare(VersionVector(V{1, 2, 3})), Order::kEqual);
+  EXPECT_EQ(a.compare(VersionVector(V{2, 2, 3})), Order::kBefore);
+  EXPECT_EQ(a.compare(VersionVector(V{1, 1, 3})), Order::kAfter);
+  EXPECT_EQ(a.compare(VersionVector(V{2, 1, 3})), Order::kConcurrent);
+  EXPECT_TRUE(a.happened_before(VersionVector(V{1, 2, 4})));
+  EXPECT_TRUE(a.concurrent_with(VersionVector(V{0, 9, 3})));
+}
+
+TEST(VersionVector, ConcurrentByOriginFormula3) {
+  // Paper formula (3): Oa ∥ Ob ⟺ Ta[x] > Tb[x] ∧ Tb[y] > Ta[y].
+  using V = std::vector<std::uint64_t>;
+  // Oa generated at site 1 with [0,1,0,0]; Ob at site 2 with [0,0,1,0]:
+  // concurrent (the Fig. 2 O1/O2 pair).
+  const VersionVector ta(V{0, 1, 0, 0});
+  const VersionVector tb(V{0, 0, 1, 0});
+  EXPECT_TRUE(VersionVector::concurrent_by_origin(ta, 1, tb, 2));
+  EXPECT_TRUE(VersionVector::concurrent_by_origin(tb, 2, ta, 1));
+
+  // Causally related: Ob at site 2 saw Oa.
+  const VersionVector tb2(V{0, 1, 1, 0});
+  EXPECT_FALSE(VersionVector::concurrent_by_origin(ta, 1, tb2, 2));
+  EXPECT_FALSE(VersionVector::concurrent_by_origin(tb2, 2, ta, 1));
+}
+
+TEST(VersionVector, ConcurrentByOriginMatchesFullCompare) {
+  // Formula (3) with origin components must agree with the full
+  // pointwise comparison for clocks produced by a valid execution.  We
+  // simulate random message exchanges among 4 sites.
+  util::Rng rng(99);
+  const std::size_t n = 4;
+  std::vector<VersionVector> clock(n, VersionVector(n));
+  struct Stamped {
+    VersionVector v;
+    SiteId site;
+  };
+  std::vector<Stamped> events;
+  for (int step = 0; step < 300; ++step) {
+    const auto s = static_cast<SiteId>(rng.index(n));
+    if (rng.chance(0.4) && !events.empty()) {
+      // receive a random earlier event's stamp
+      clock[s].merge(events[rng.index(events.size())].v);
+    }
+    clock[s].tick(s);
+    events.push_back({clock[s], s});
+  }
+  for (std::size_t i = 0; i < events.size(); i += 7) {
+    for (std::size_t j = 0; j < events.size(); j += 5) {
+      if (i == j || events[i].site == events[j].site) continue;
+      const bool by_origin = VersionVector::concurrent_by_origin(
+          events[i].v, events[i].site, events[j].v, events[j].site);
+      const bool full = events[i].v.concurrent_with(events[j].v);
+      EXPECT_EQ(by_origin, full) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(VersionVector, WireRoundTrip) {
+  const VersionVector v(std::vector<std::uint64_t>{0, 300, 7, 128});
+  util::ByteSink sink;
+  v.encode(sink);
+  EXPECT_EQ(sink.size(), v.encoded_size());
+  util::ByteSource src(sink.bytes());
+  EXPECT_EQ(VersionVector::decode(src), v);
+  EXPECT_TRUE(src.exhausted());
+}
+
+TEST(VersionVector, EncodedSizeGrowsLinearlyWithN) {
+  // The baseline's defining cost: N small components -> ~N+1 bytes.
+  const VersionVector small(8);
+  const VersionVector large(1024);
+  EXPECT_EQ(small.encoded_size(), 1u + 8u);
+  EXPECT_EQ(large.encoded_size(), 2u + 1024u);
+}
+
+TEST(VersionVector, Render) {
+  const VersionVector v(std::vector<std::uint64_t>{1, 2, 0});
+  EXPECT_EQ(v.str(), "[1,2,0]");
+}
+
+}  // namespace
+}  // namespace ccvc::clocks

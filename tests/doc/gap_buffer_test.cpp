@@ -1,0 +1,109 @@
+#include "doc/gap_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ccvc::doc {
+namespace {
+
+TEST(GapBuffer, EmptyByDefault) {
+  const GapBuffer g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_EQ(g.str(), "");
+}
+
+TEST(GapBuffer, InitialContents) {
+  const GapBuffer g("hello");
+  EXPECT_EQ(g.size(), 5u);
+  EXPECT_EQ(g.str(), "hello");
+  EXPECT_EQ(g.at(0), 'h');
+  EXPECT_EQ(g.at(4), 'o');
+}
+
+TEST(GapBuffer, InsertFrontMiddleBack) {
+  GapBuffer g("bd");
+  g.insert(0, "a");
+  EXPECT_EQ(g.str(), "abd");
+  g.insert(2, "c");
+  EXPECT_EQ(g.str(), "abcd");
+  g.insert(4, "e");
+  EXPECT_EQ(g.str(), "abcde");
+}
+
+TEST(GapBuffer, EraseReturnsRemovedText) {
+  GapBuffer g("abcdef");
+  EXPECT_EQ(g.erase(2, 3), "cde");
+  EXPECT_EQ(g.str(), "abf");
+}
+
+TEST(GapBuffer, EraseEverything) {
+  GapBuffer g("xyz");
+  EXPECT_EQ(g.erase(0, 3), "xyz");
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(GapBuffer, OutOfBoundsThrows) {
+  GapBuffer g("abc");
+  EXPECT_THROW(g.insert(4, "x"), ContractViolation);
+  EXPECT_THROW(g.erase(2, 2), ContractViolation);
+  EXPECT_THROW(g.at(3), ContractViolation);
+}
+
+TEST(GapBuffer, SubstrClampsAtEnd) {
+  const GapBuffer g("abcdef");
+  EXPECT_EQ(g.substr(4, 10), "ef");
+  EXPECT_EQ(g.substr(9, 3), "");
+  EXPECT_EQ(g.substr(0, 0), "");
+}
+
+TEST(GapBuffer, GrowsPastInitialGap) {
+  GapBuffer g;
+  const std::string big(5000, 'q');
+  g.insert(0, big);
+  EXPECT_EQ(g.size(), 5000u);
+  EXPECT_EQ(g.str(), big);
+}
+
+TEST(GapBuffer, EmptyInsertIsNoop) {
+  GapBuffer g("ab");
+  g.insert(1, "");
+  EXPECT_EQ(g.str(), "ab");
+}
+
+TEST(GapBuffer, RandomizedAgainstStringReference) {
+  util::Rng rng(4242);
+  GapBuffer g;
+  std::string ref;
+  for (int step = 0; step < 3000; ++step) {
+    if (ref.empty() || rng.chance(0.6)) {
+      const std::size_t pos = rng.index(ref.size() + 1);
+      const std::size_t len = 1 + rng.index(5);
+      std::string text;
+      for (std::size_t i = 0; i < len; ++i) {
+        text.push_back(static_cast<char>('a' + rng.index(26)));
+      }
+      g.insert(pos, text);
+      ref.insert(pos, text);
+    } else {
+      const std::size_t len =
+          1 + rng.index(std::min<std::size_t>(ref.size(), 6));
+      const std::size_t pos = rng.index(ref.size() - len + 1);
+      const std::string removed = g.erase(pos, len);
+      EXPECT_EQ(removed, ref.substr(pos, len));
+      ref.erase(pos, len);
+    }
+    ASSERT_EQ(g.size(), ref.size());
+    if (step % 100 == 0) {
+      ASSERT_EQ(g.str(), ref);
+    }
+  }
+  EXPECT_EQ(g.str(), ref);
+}
+
+}  // namespace
+}  // namespace ccvc::doc

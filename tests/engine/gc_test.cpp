@@ -1,0 +1,149 @@
+// History-buffer garbage collection (extension; the paper leaves HBs
+// unbounded, its deployed REDUCE system collected them).  GC must be
+// invisible to the protocol: identical documents, identical concurrent
+// verdicts, zero oracle mismatches — with bounded buffers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/session.hpp"
+#include "sim/observers.hpp"
+#include "sim/oracle.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
+
+namespace ccvc::sim {
+namespace {
+
+engine::StarSessionConfig gc_cfg(std::size_t n, std::uint64_t seed,
+                                 bool gc) {
+  engine::StarSessionConfig cfg;
+  cfg.num_sites = n;
+  cfg.initial_doc = "garbage collected history buffers";
+  cfg.engine.gc_history = gc;
+  cfg.uplink = net::LatencyModel::lognormal(40.0, 0.5, 10.0);
+  cfg.downlink = net::LatencyModel::lognormal(40.0, 0.5, 10.0);
+  cfg.seed = seed;
+  return cfg;
+}
+
+WorkloadConfig gc_workload(std::uint64_t seed) {
+  WorkloadConfig w;
+  w.ops_per_site = 40;
+  w.mean_think_ms = 25.0;
+  w.hotspot_prob = 0.4;
+  w.seed = seed;
+  return w;
+}
+
+TEST(HistoryGc, SessionStaysCorrect) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const StarRunReport r = run_star(gc_cfg(5, seed, true),
+                                     gc_workload(seed + 100));
+    EXPECT_TRUE(r.converged) << seed;
+    EXPECT_EQ(r.verdict_mismatches, 0u) << seed;
+  }
+}
+
+TEST(HistoryGc, SameFinalDocumentAsUncollected) {
+  for (const std::uint64_t seed : {7u, 8u}) {
+    const StarRunReport with_gc =
+        run_star(gc_cfg(4, seed, true), gc_workload(seed));
+    const StarRunReport without =
+        run_star(gc_cfg(4, seed, false), gc_workload(seed));
+    EXPECT_EQ(with_gc.final_doc, without.final_doc) << seed;
+    EXPECT_TRUE(with_gc.converged);
+  }
+}
+
+TEST(HistoryGc, ConcurrentVerdictsAreIdentical) {
+  // GC drops only entries no future check can flag concurrent, so the
+  // set of concurrent pairs detected must be exactly the same; only
+  // redundant "dependent" verdicts disappear.
+  auto collect = [](bool gc) {
+    ObserverMux mux;
+    VerdictRecorder rec;
+    mux.add(&rec);
+    engine::StarSession session(gc_cfg(4, 55, gc), &mux);
+    StarWorkload workload(session, gc_workload(56));
+    workload.start();
+    session.run_to_quiescence();
+    EXPECT_TRUE(session.converged());
+    std::multiset<std::tuple<SiteId, engine::EventKey, engine::EventKey>>
+        concurrent;
+    std::size_t total = 0;
+    for (const auto& v : rec.verdicts()) {
+      ++total;
+      if (v.concurrent) concurrent.insert({v.at_site, v.incoming, v.buffered});
+    }
+    return std::make_pair(concurrent, total);
+  };
+  const auto [gc_conc, gc_total] = collect(true);
+  const auto [raw_conc, raw_total] = collect(false);
+  EXPECT_EQ(gc_conc, raw_conc);
+  EXPECT_FALSE(gc_conc.empty());
+  EXPECT_LT(gc_total, raw_total);  // GC really pruned dependent checks
+}
+
+TEST(HistoryGc, BuffersStayBounded) {
+  engine::StarSessionConfig cfg = gc_cfg(4, 77, true);
+  cfg.uplink = net::LatencyModel::fixed(10.0);
+  cfg.downlink = net::LatencyModel::fixed(10.0);
+  engine::StarSession session(cfg);
+  WorkloadConfig w = gc_workload(78);
+  w.ops_per_site = 200;
+  w.mean_think_ms = 30.0;
+  StarWorkload workload(session, w);
+  workload.start();
+  session.run_to_quiescence();
+
+  EXPECT_TRUE(session.converged());
+  // 800 operations flowed; live buffers must be tiny at quiescence.
+  EXPECT_GT(session.notifier().hb_collected(), 700u);
+  EXPECT_LT(session.notifier().history().size(), 50u);
+  for (SiteId i = 1; i <= 4; ++i) {
+    EXPECT_LT(session.client(i).history().size(), 20u) << "site " << i;
+    EXPECT_GT(session.client(i).hb_collected(), 150u) << "site " << i;
+  }
+}
+
+TEST(HistoryGc, Fig3WithGcStillReplaysCorrectly) {
+  engine::EngineConfig eng;
+  eng.gc_history = true;
+  engine::StarSession session(fig_scenario_config(eng));
+  schedule_fig_scenario(session);
+  session.run_to_quiescence();
+  EXPECT_TRUE(session.converged());
+  EXPECT_EQ(session.notifier().text(), "A12yBx");
+}
+
+TEST(HistoryGc, IdleSiteKeepsEntriesAlive) {
+  // A silent site can still submit a concurrent op later, so entries it
+  // has not acknowledged must survive GC at the notifier.
+  engine::StarSessionConfig cfg = gc_cfg(3, 99, true);
+  cfg.uplink = net::LatencyModel::fixed(5.0);
+  cfg.downlink = net::LatencyModel::fixed(5.0);
+  engine::StarSession session(cfg);
+  // Sites 1 and 2 chat; site 3 never sends -> never acknowledges.
+  for (int i = 0; i < 10; ++i) {
+    session.client(1).insert(0, "a");
+    session.run_to_quiescence();
+    session.client(2).insert(0, "b");
+    session.run_to_quiescence();
+  }
+  // All 20 entries are still potentially concurrent with a future op
+  // from site 3 (its T[1] could be as low as its current ack, 0 at the
+  // notifier until it speaks).
+  EXPECT_EQ(session.notifier().history().size(), 20u);
+  EXPECT_EQ(session.notifier().hb_collected(), 0u);
+
+  // Once site 3 speaks (acknowledging everything), the backlog dies.
+  session.client(3).insert(0, "c");
+  session.run_to_quiescence();
+  EXPECT_TRUE(session.converged());
+  EXPECT_GT(session.notifier().hb_collected(), 0u);
+  EXPECT_LT(session.notifier().history().size(), 21u);
+}
+
+}  // namespace
+}  // namespace ccvc::sim

@@ -1,0 +1,160 @@
+// Dynamic membership (extension): the paper's demonstrator "allows an
+// arbitrary number of users to participate a collaborative editing
+// session" — and the compressed scheme is what makes that trivial,
+// because no client's clock mentions N.  Late joiners are seeded with a
+// notifier snapshot whose operation count becomes their initial SV_i[1].
+#include <gtest/gtest.h>
+
+#include "engine/session.hpp"
+#include "sim/observers.hpp"
+#include "sim/oracle.hpp"
+#include "sim/workload.hpp"
+
+namespace ccvc::engine {
+namespace {
+
+StarSessionConfig base_cfg(std::size_t n) {
+  StarSessionConfig cfg;
+  cfg.num_sites = n;
+  cfg.initial_doc = "membership";
+  cfg.uplink = net::LatencyModel::fixed(10.0);
+  cfg.downlink = net::LatencyModel::fixed(10.0);
+  return cfg;
+}
+
+TEST(Membership, JoinReceivesSnapshotAndParticipates) {
+  StarSession s(base_cfg(2));
+  s.client(1).insert(0, "aa");
+  s.client(2).insert(0, "bb");
+  s.run_to_quiescence();
+  ASSERT_TRUE(s.converged());
+
+  const SiteId joiner = s.add_client();
+  EXPECT_EQ(joiner, 3u);
+  EXPECT_EQ(s.num_sites(), 3u);
+  // Snapshot carried the current document and counts as 2 received ops.
+  EXPECT_EQ(s.client(3).text(), s.notifier().text());
+  EXPECT_EQ(s.client(3).state_vector().from_center, 2u);
+
+  // The joiner edits; everyone converges.
+  s.client(3).insert(0, "cc");
+  s.client(1).insert(0, "dd");
+  s.run_to_quiescence();
+  EXPECT_TRUE(s.converged());
+  EXPECT_NE(s.notifier().text().find("cc"), std::string::npos);
+}
+
+TEST(Membership, JoinWhileMessagesInFlight) {
+  StarSession s(base_cfg(2));
+  s.client(1).insert(0, "xxxx");
+  // Join before the op reaches the notifier: the snapshot does NOT
+  // contain it, and the joiner must receive it like everyone else.
+  const SiteId joiner = s.add_client();
+  EXPECT_EQ(s.client(joiner).state_vector().from_center, 0u);
+  s.run_to_quiescence();
+  EXPECT_TRUE(s.converged());
+  EXPECT_EQ(s.client(joiner).text(), s.notifier().text());
+  EXPECT_EQ(s.client(joiner).state_vector().from_center, 1u);
+}
+
+TEST(Membership, JoinersVerdictsAreSound) {
+  sim::ObserverMux mux;
+  // Oracle sized for the maximum membership the test reaches (5).
+  sim::CausalityOracle oracle(5);
+  mux.add(&oracle);
+  StarSession s(base_cfg(3), &mux);
+
+  sim::WorkloadConfig w;
+  w.ops_per_site = 10;
+  w.mean_think_ms = 15.0;
+  w.seed = 31;
+  sim::StarWorkload workload(s, w);
+  workload.start();
+  s.queue().run_until(120.0);  // mid-session...
+
+  const SiteId j1 = s.add_client();
+  const SiteId j2 = s.add_client();
+  s.client(j1).insert(0, "J1");
+  s.client(j2).insert(0, "J2");
+  s.run_to_quiescence();
+
+  EXPECT_TRUE(s.converged());
+  EXPECT_EQ(oracle.verdict_mismatches(), 0u);
+  EXPECT_GT(oracle.verdicts_checked(), 0u);
+}
+
+TEST(Membership, LeaveFreezesReplicaAndOthersContinue) {
+  StarSession s(base_cfg(3));
+  s.client(1).insert(0, "start ");
+  s.run_to_quiescence();
+
+  s.remove_client(2);
+  EXPECT_TRUE(s.is_active(2));  // the notice is still on the wire
+  s.run_to_quiescence();
+  EXPECT_FALSE(s.is_active(2));
+  const std::string frozen = s.client(2).text();
+
+  s.client(1).insert(0, "after ");
+  s.client(3).insert(0, "more ");
+  s.run_to_quiescence();
+  EXPECT_TRUE(s.converged());               // active replicas agree
+  EXPECT_EQ(s.client(2).text(), frozen);    // departed replica froze
+  EXPECT_NE(s.client(1).text(), frozen);
+}
+
+TEST(Membership, InFlightOpsFromDepartedSiteStillApply) {
+  StarSession s(base_cfg(2));
+  s.client(2).insert(0, "last words");
+  s.remove_client(2);  // leaves before the op reaches the notifier
+  s.run_to_quiescence();
+  EXPECT_TRUE(s.converged());
+  EXPECT_EQ(s.notifier().text(), "last wordsmembership");
+  EXPECT_EQ(s.client(1).text(), "last wordsmembership");
+}
+
+TEST(Membership, GcResumesAfterSilentSiteLeaves) {
+  auto cfg = base_cfg(3);
+  cfg.engine.gc_history = true;
+  StarSession s(cfg);
+  // Site 3 is silent and never acknowledges, pinning the notifier's HB.
+  for (int i = 0; i < 10; ++i) {
+    s.client(1).insert(0, "a");
+    s.run_to_quiescence();
+    s.client(2).insert(0, "b");
+    s.run_to_quiescence();
+  }
+  EXPECT_EQ(s.notifier().hb_collected(), 0u);
+
+  s.remove_client(3);  // its acks no longer gate collection
+  s.client(1).insert(0, "c");
+  s.run_to_quiescence();
+  EXPECT_GT(s.notifier().hb_collected(), 15u);
+  EXPECT_TRUE(s.converged());
+}
+
+TEST(Membership, JoinRequiresCompressedMode) {
+  auto cfg = base_cfg(2);
+  cfg.engine.stamp_mode = StampMode::kFullVector;
+  StarSession s(cfg);
+  EXPECT_THROW(s.add_client(), ContractViolation);
+}
+
+TEST(Membership, RepeatedJoinsScaleSession) {
+  StarSession s(base_cfg(1));
+  s.client(1).insert(0, "seed");
+  s.run_to_quiescence();
+  for (int k = 0; k < 6; ++k) {
+    const SiteId j = s.add_client();
+    s.client(j).insert(0, std::string(1, static_cast<char>('A' + k)));
+    s.run_to_quiescence();
+    ASSERT_TRUE(s.converged()) << "after join " << k;
+  }
+  EXPECT_EQ(s.num_sites(), 7u);
+  // All six joiners' characters made it into every replica.
+  for (char c = 'A'; c <= 'F'; ++c) {
+    EXPECT_NE(s.notifier().text().find(c), std::string::npos) << c;
+  }
+}
+
+}  // namespace
+}  // namespace ccvc::engine

@@ -1,0 +1,172 @@
+// Behavioural unit tests of the star engine: local responsiveness,
+// pending-list/acknowledgement mechanics, eq.(1) invariants, and small
+// scripted convergence cases beyond the paper's figures.
+#include <gtest/gtest.h>
+
+#include "engine/session.hpp"
+#include "sim/observers.hpp"
+#include "util/check.hpp"
+
+namespace ccvc::engine {
+namespace {
+
+StarSessionConfig small_cfg(std::size_t n, std::string doc) {
+  StarSessionConfig cfg;
+  cfg.num_sites = n;
+  cfg.initial_doc = std::move(doc);
+  cfg.uplink = net::LatencyModel::fixed(10.0);
+  cfg.downlink = net::LatencyModel::fixed(10.0);
+  return cfg;
+}
+
+TEST(StarEngine, LocalEditIsImmediate) {
+  StarSession s(small_cfg(2, "abc"));
+  s.client(1).insert(1, "XY");
+  // §2.1: executed locally before any network round trip.
+  EXPECT_EQ(s.client(1).text(), "aXYbc");
+  EXPECT_EQ(s.client(2).text(), "abc");
+  s.run_to_quiescence();
+  EXPECT_TRUE(s.converged());
+  EXPECT_EQ(s.client(2).text(), "aXYbc");
+}
+
+TEST(StarEngine, OpIdsCountPerSite) {
+  StarSession s(small_cfg(2, ""));
+  EXPECT_EQ(s.client(1).insert(0, "a"), (OpId{1, 1}));
+  EXPECT_EQ(s.client(1).insert(0, "b"), (OpId{1, 2}));
+  EXPECT_EQ(s.client(2).insert(0, "c"), (OpId{2, 1}));
+}
+
+TEST(StarEngine, NotifierExecutesEverything) {
+  StarSession s(small_cfg(3, ""));
+  s.client(1).insert(0, "a");
+  s.client(2).insert(0, "b");
+  s.client(3).insert(0, "c");
+  s.run_to_quiescence();
+  EXPECT_EQ(s.notifier().history().size(), 3u);
+  EXPECT_EQ(s.notifier().text().size(), 3u);
+  EXPECT_TRUE(s.converged());
+}
+
+TEST(StarEngine, PendingShrinksOnAcknowledgement) {
+  StarSession s(small_cfg(2, ""));
+  s.client(1).insert(0, "a");
+  s.client(1).insert(1, "b");
+  EXPECT_EQ(s.client(1).pending_count(), 2u);
+  // After the round trip via client 2's first op, the notifier's next
+  // message to client 1 carries SV_0[1] as the acknowledgement.
+  s.run_to_quiescence();
+  EXPECT_EQ(s.client(1).pending_count(), 2u);  // nothing came back yet
+  s.client(2).insert(0, "z");
+  s.run_to_quiescence();
+  EXPECT_EQ(s.client(1).pending_count(), 0u);  // z's stamp acked a and b
+  EXPECT_TRUE(s.converged());
+}
+
+TEST(StarEngine, BridgeQueueDrainsOnAck) {
+  StarSession s(small_cfg(2, ""));
+  s.client(2).insert(0, "x");
+  s.run_to_quiescence();
+  // The notifier enqueued O'x for client 1 and it is unacknowledged.
+  EXPECT_EQ(s.notifier().outgoing_count(1), 1u);
+  // A client-1 op stamped after executing O'x acknowledges it.
+  s.client(1).insert(0, "y");
+  s.run_to_quiescence();
+  EXPECT_EQ(s.notifier().outgoing_count(1), 0u);
+}
+
+TEST(StarEngine, CrossingOperationsConverge) {
+  // Two clients edit the same position simultaneously; messages cross in
+  // flight.
+  StarSession s(small_cfg(2, "HELLO"));
+  s.client(1).insert(2, "aa");
+  s.client(2).insert(2, "bb");
+  s.run_to_quiescence();
+  EXPECT_TRUE(s.converged());
+  // Site-1 priority puts "aa" left of "bb".
+  EXPECT_EQ(s.notifier().text(), "HEaabbLLO");
+}
+
+TEST(StarEngine, ConcurrentDeleteOfSameRangeConverges) {
+  StarSession s(small_cfg(2, "ABCDEF"));
+  s.client(1).erase(1, 3);
+  s.client(2).erase(2, 3);
+  s.run_to_quiescence();
+  EXPECT_TRUE(s.converged());
+  // Union [1,5) deleted exactly once.
+  EXPECT_EQ(s.notifier().text(), "AF");
+}
+
+TEST(StarEngine, InsertIntoConcurrentlyDeletedRegionSurvives) {
+  StarSession s(small_cfg(2, "ABCDEF"));
+  s.client(1).erase(1, 4);     // deletes BCDE
+  s.client(2).insert(3, "!");  // between C and D
+  s.run_to_quiescence();
+  EXPECT_TRUE(s.converged());
+  EXPECT_EQ(s.notifier().text(), "A!F");
+}
+
+TEST(StarEngine, RapidFireFromOneSiteIsFifo) {
+  StarSession s(small_cfg(2, ""));
+  for (int i = 0; i < 10; ++i) {
+    s.client(1).insert(static_cast<std::size_t>(i),
+                       std::string(1, static_cast<char>('a' + i)));
+  }
+  s.run_to_quiescence();
+  EXPECT_TRUE(s.converged());
+  EXPECT_EQ(s.notifier().text(), "abcdefghij");
+}
+
+TEST(StarEngine, ThreeWayConcurrentBurstConverges) {
+  StarSession s(small_cfg(3, "0123456789"));
+  s.client(1).insert(5, "one");
+  s.client(2).erase(3, 4);
+  s.client(3).insert(7, "three");
+  s.run_to_quiescence();
+  EXPECT_TRUE(s.converged());
+  // "one" and "three" both survive the overlapping delete.
+  const std::string doc = s.notifier().text();
+  EXPECT_NE(doc.find("one"), std::string::npos);
+  EXPECT_NE(doc.find("three"), std::string::npos);
+}
+
+TEST(StarEngine, ClientIdZeroRejected) {
+  EXPECT_THROW(
+      ClientSite(0, 2, "", EngineConfig{}, [](net::Payload) {}),
+      ContractViolation);
+  EXPECT_THROW(
+      ClientSite(3, 2, "", EngineConfig{}, [](net::Payload) {}),
+      ContractViolation);
+}
+
+TEST(StarEngine, GenerateOutOfBoundsThrows) {
+  StarSession s(small_cfg(1, "ab"));
+  EXPECT_THROW(s.client(1).insert(5, "x"), ContractViolation);
+  EXPECT_THROW(s.client(1).erase(1, 5), ContractViolation);
+}
+
+TEST(StarEngine, WireMessagesFlowThroughNetwork) {
+  sim::ObserverMux mux;
+  StarSessionConfig cfg = small_cfg(2, "");
+  StarSession s(cfg, &mux);
+  s.client(1).insert(0, "hello");
+  s.run_to_quiescence();
+  // 1 uplink + 1 downlink (to client 2 only).
+  EXPECT_EQ(s.network().total_messages(), 2u);
+  EXPECT_GT(s.network().total_bytes(), 0u);
+  EXPECT_EQ(s.network().channel(1, 0).stats().messages, 1u);
+  EXPECT_EQ(s.network().channel(0, 2).stats().messages, 1u);
+  EXPECT_EQ(s.network().channel(0, 1).stats().messages, 0u);  // no echo
+}
+
+TEST(StarEngine, SingleClientSessionTrivium) {
+  StarSession s(small_cfg(1, ""));
+  s.client(1).insert(0, "solo");
+  s.run_to_quiescence();
+  EXPECT_TRUE(s.converged());
+  EXPECT_EQ(s.notifier().text(), "solo");
+  EXPECT_EQ(s.network().channel(1, 0).stats().messages, 1u);
+}
+
+}  // namespace
+}  // namespace ccvc::engine

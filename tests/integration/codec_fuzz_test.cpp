@@ -1,0 +1,103 @@
+// Decoder robustness: arbitrary bytes fed to the wire decoders must
+// either parse or fail with a typed error (DecodeError /
+// ContractViolation) — never crash, hang, or allocate absurdly.  A
+// notifier on the open Internet (the paper's deployment!) cannot trust
+// its peers' bytes.
+#include <gtest/gtest.h>
+
+#include "engine/mesh_site.hpp"
+#include "engine/message.hpp"
+#include "util/rng.hpp"
+
+namespace ccvc::engine {
+namespace {
+
+net::Payload random_bytes(util::Rng& rng, std::size_t max_len) {
+  net::Payload p(rng.index(max_len + 1));
+  for (auto& b : p) b = static_cast<std::uint8_t>(rng.below(256));
+  return p;
+}
+
+template <typename DecodeFn>
+void fuzz(DecodeFn&& decode, std::uint64_t seed) {
+  util::Rng rng(seed);
+  int parsed = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const net::Payload bytes = random_bytes(rng, 64);
+    try {
+      decode(bytes);
+      ++parsed;
+    } catch (const util::DecodeError&) {
+    } catch (const ContractViolation&) {
+    }
+  }
+  // Random bytes almost never parse; the point is no *other* outcome.
+  EXPECT_LT(parsed, 200);
+}
+
+TEST(CodecFuzz, ClientMsgCompressed) {
+  fuzz([](const net::Payload& b) {
+    (void)decode_client_msg(b, StampMode::kCompressed);
+  }, 1);
+}
+
+TEST(CodecFuzz, ClientMsgFullVector) {
+  fuzz([](const net::Payload& b) {
+    (void)decode_client_msg(b, StampMode::kFullVector);
+  }, 2);
+}
+
+TEST(CodecFuzz, CenterMsg) {
+  fuzz([](const net::Payload& b) {
+    (void)decode_center_msg(b, StampMode::kCompressed);
+  }, 3);
+}
+
+TEST(CodecFuzz, MeshMsgBothModes) {
+  fuzz([](const net::Payload& b) {
+    (void)decode_mesh_msg(b, MeshStamp::kFullVector);
+  }, 4);
+  fuzz([](const net::Payload& b) {
+    (void)decode_mesh_msg(b, MeshStamp::kSkDiff);
+  }, 5);
+}
+
+TEST(CodecFuzz, TruncatedRealMessagesFail) {
+  // Every strict prefix of a real message must raise, not mis-parse:
+  // the codecs length-check and the decoders demand exhaustion.
+  ClientMsg msg;
+  msg.id = OpId{3, 9};
+  msg.ops = ot::make_insert(4, "payload", 3);
+  msg.stamp.csv = clocks::CompressedSv{7, 9};
+  const net::Payload full = encode(msg, StampMode::kCompressed);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    net::Payload prefix(full.begin(),
+                        full.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_ANY_THROW(
+        (void)decode_client_msg(prefix, StampMode::kCompressed))
+        << "prefix length " << cut;
+  }
+}
+
+TEST(CodecFuzz, BitFlippedMessagesNeverCrash) {
+  ClientMsg msg;
+  msg.id = OpId{2, 5};
+  msg.ops = ot::make_delete(1, 3, 2);
+  msg.stamp.csv = clocks::CompressedSv{4, 5};
+  const net::Payload full = encode(msg, StampMode::kCompressed);
+  for (std::size_t byte = 0; byte < full.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      net::Payload mutated = full;
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      try {
+        (void)decode_client_msg(mutated, StampMode::kCompressed);
+      } catch (const util::DecodeError&) {
+      } catch (const ContractViolation&) {
+      }
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ccvc::engine

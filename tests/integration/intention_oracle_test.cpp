@@ -1,0 +1,175 @@
+// Intention-preservation oracle for the all-concurrent case.
+//
+// When every site issues exactly one operation simultaneously (pairwise
+// concurrent), the intention-preserved merge is directly computable
+// without any OT:
+//   * a delete removes exactly its original characters (overlaps remove
+//     each character once);
+//   * an insert anchored at original position p appears immediately
+//     before the first *surviving* original character at or after p
+//     (its "slot"), contiguously and exactly once;
+//   * inserts sharing the same *anchor* are ordered by site priority
+//     (the deterministic II tie-break);
+//   * inserts with different anchors collapsed into one slot by a
+//     concurrent deletion may appear in either order — that order is
+//     decided by the notifier's serialization (the same path-dependence
+//     tp2_test documents), and all replicas agree on it.
+// The engine's converged result must satisfy this oracle for every
+// random instance — an end-to-end check of §2's intention-preservation
+// requirement that does not reuse any transformation code.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "engine/session.hpp"
+#include "util/rng.hpp"
+
+namespace ccvc::sim {
+namespace {
+
+struct SingleOp {
+  SiteId site = 0;
+  bool is_insert = true;
+  std::size_t pos = 0;
+  std::string text;       // insert payload
+  std::size_t count = 0;  // delete length
+};
+
+/// Checks `merged` against the oracle; returns an empty string on
+/// success, else a diagnostic.
+std::string check_merge(const std::string& base,
+                        const std::vector<SingleOp>& ops,
+                        const std::string& merged) {
+  std::vector<bool> deleted(base.size(), false);
+  for (const auto& op : ops) {
+    if (!op.is_insert) {
+      for (std::size_t k = 0; k < op.count; ++k) deleted[op.pos + k] = true;
+    }
+  }
+  std::string survivors;
+  for (std::size_t k = 0; k < base.size(); ++k) {
+    if (!deleted[k]) survivors.push_back(base[k]);
+  }
+
+  auto slot_of = [&](std::size_t pos) {
+    std::size_t s = 0;
+    for (std::size_t k = 0; k < pos; ++k) {
+      if (!deleted[k]) ++s;
+    }
+    return s;
+  };
+
+  // Split `merged` into per-slot insert segments around the survivors.
+  // Inserted characters are uppercase; base characters lowercase, so the
+  // survivor walk is unambiguous.
+  std::vector<std::string> segments(survivors.size() + 1);
+  std::size_t next_survivor = 0;
+  for (const char c : merged) {
+    if (next_survivor < survivors.size() && c == survivors[next_survivor] &&
+        (c < 'A' || c > 'Z')) {
+      ++next_survivor;
+    } else {
+      segments[next_survivor].push_back(c);
+    }
+  }
+  if (next_survivor != survivors.size()) {
+    return "survivor characters missing or reordered";
+  }
+
+  // Each insert must appear exactly once, contiguously, in its slot.
+  std::map<std::size_t, std::vector<const SingleOp*>> by_slot;
+  for (const auto& op : ops) {
+    if (op.is_insert) by_slot[slot_of(op.pos)].push_back(&op);
+  }
+  for (std::size_t s = 0; s <= survivors.size(); ++s) {
+    const auto it = by_slot.find(s);
+    const std::string& seg = segments[s];
+    if (it == by_slot.end()) {
+      if (!seg.empty()) return "unexpected insert text in slot";
+      continue;
+    }
+    // Record each block's offset within the segment.
+    std::size_t expected_len = 0;
+    std::vector<std::pair<const SingleOp*, std::size_t>> offsets;
+    for (const SingleOp* op : it->second) {
+      const std::size_t at = seg.find(op->text);
+      if (at == std::string::npos) return "insert text missing from slot";
+      offsets.emplace_back(op, at);
+      expected_len += op->text.size();
+    }
+    if (seg.size() != expected_len) return "stray characters in slot";
+    // Same-anchor groups must be in site order.
+    for (const auto& [a, a_off] : offsets) {
+      for (const auto& [b, b_off] : offsets) {
+        if (a->pos == b->pos && a->site < b->site && a_off > b_off) {
+          return "same-anchor inserts out of site order";
+        }
+      }
+    }
+  }
+  return "";
+}
+
+class IntentionOracleSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(IntentionOracleSweep, ConcurrentSingleOpsMergePerOracle) {
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t sites = 2 + rng.index(6);  // 2..7
+    std::string base(8 + rng.index(16), 'x');
+    for (auto& c : base) c = static_cast<char>('a' + rng.index(26));
+
+    std::vector<SingleOp> ops;
+    for (SiteId i = 1; i <= sites; ++i) {
+      SingleOp op;
+      op.site = i;
+      op.is_insert = rng.chance(0.6);
+      if (op.is_insert) {
+        op.pos = rng.index(base.size() + 1);
+        // Distinct uppercase payload per site, so the merged text shows
+        // ownership unambiguously.
+        op.text = std::string(1 + rng.index(3),
+                              static_cast<char>('A' + (i - 1)));
+      } else {
+        op.count = 1 + rng.index(std::min<std::size_t>(base.size(), 5));
+        op.pos = rng.index(base.size() - op.count + 1);
+      }
+      ops.push_back(op);
+    }
+
+    engine::StarSessionConfig cfg;
+    cfg.num_sites = sites;
+    cfg.initial_doc = base;
+    cfg.uplink = net::LatencyModel::uniform(1.0, 100.0);
+    cfg.downlink = net::LatencyModel::uniform(1.0, 100.0);
+    cfg.seed = GetParam() * 1000 + static_cast<std::uint64_t>(iter);
+    engine::StarSession session(cfg);
+
+    // All ops issued before any message travels: pairwise concurrent.
+    for (const auto& op : ops) {
+      if (op.is_insert) {
+        session.client(op.site).insert(op.pos, op.text);
+      } else {
+        session.client(op.site).erase(op.pos, op.count);
+      }
+    }
+    session.run_to_quiescence();
+
+    ASSERT_TRUE(session.converged());
+    const std::string verdict =
+        check_merge(base, ops, session.notifier().text());
+    EXPECT_EQ(verdict, "")
+        << "merged=\"" << session.notifier().text() << "\" base=\"" << base
+        << "\" seed=" << GetParam() << " iter=" << iter
+        << " sites=" << sites;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntentionOracleSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace ccvc::sim

@@ -1,0 +1,75 @@
+// Membership churn under live traffic: sites join (with snapshots) and
+// leave at random while everyone types.  Active replicas must always
+// converge and the compressed verdicts must stay sound.
+#include <gtest/gtest.h>
+
+#include "engine/session.hpp"
+#include "sim/observers.hpp"
+#include "sim/oracle.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+
+namespace ccvc::sim {
+namespace {
+
+class ChurnSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnSweep, JoinsAndLeavesUnderTraffic) {
+  const std::uint64_t seed = GetParam();
+  util::Rng rng(seed);
+
+  engine::StarSessionConfig cfg;
+  cfg.num_sites = 3;
+  cfg.initial_doc = "churning membership";
+  cfg.engine.gc_history = true;
+  cfg.uplink = net::LatencyModel::lognormal(30.0, 0.5, 10.0);
+  cfg.downlink = net::LatencyModel::lognormal(30.0, 0.5, 10.0);
+  cfg.seed = seed;
+
+  ObserverMux mux;
+  // Capacity: 3 initial + up to 8 joins.
+  CausalityOracle oracle(11);
+  mux.add(&oracle);
+  engine::StarSession s(cfg, &mux);
+
+  // Initial typing load on the founders.
+  WorkloadConfig w;
+  w.ops_per_site = 25;
+  w.mean_think_ms = 20.0;
+  w.hotspot_prob = 0.3;
+  w.seed = seed + 1;
+  StarWorkload workload(s, w);
+  workload.start();
+
+  // Churn: at staggered times, join a site (which immediately types) or
+  // depart a random active one (never all of them).
+  std::vector<SiteId> active{1, 2, 3};
+  util::Rng churn_rng = rng.fork();
+  for (int round = 0; round < 8; ++round) {
+    const double when = 40.0 * (round + 1);
+    s.queue().schedule_at(when, [&s, &active, &churn_rng] {
+      if (active.size() > 2 && churn_rng.chance(0.4)) {
+        const std::size_t k = churn_rng.index(active.size());
+        s.remove_client(active[k]);
+        active.erase(active.begin() + static_cast<std::ptrdiff_t>(k));
+      } else {
+        const SiteId j = s.add_client();
+        active.push_back(j);
+        const std::size_t pos =
+            churn_rng.index(s.client(j).document().size() + 1);
+        s.client(j).insert(pos, "[joined]");
+      }
+    });
+  }
+
+  s.run_to_quiescence();
+  EXPECT_TRUE(s.converged()) << "seed " << seed;
+  EXPECT_EQ(oracle.verdict_mismatches(), 0u) << "seed " << seed;
+  EXPECT_GT(oracle.verdicts_checked(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnSweep,
+                         ::testing::Values(10u, 20u, 30u, 40u, 50u, 60u));
+
+}  // namespace
+}  // namespace ccvc::sim

@@ -1,0 +1,144 @@
+// Scenario-script corpus: the paper's schedules and a set of regression
+// puzzles expressed as data.
+#include <gtest/gtest.h>
+
+#include "sim/script.hpp"
+
+namespace ccvc::sim {
+namespace {
+
+void expect_script_ok(const std::string& script) {
+  const ScriptResult r = run_script(script);
+  for (const auto& f : r.failures) ADD_FAILURE() << f;
+  EXPECT_TRUE(r.passed);
+}
+
+TEST(Scripts, Section22Example) {
+  expect_script_ok(R"(
+    # The paper's motivating example (§2.2)
+    sites 3
+    doc ABCDE
+    latency 10
+    at 0 site 2 delete 2 3
+    at 5 site 1 insert 1 12
+    run
+    expect-converged
+    expect-doc A12B
+  )");
+}
+
+TEST(Scripts, Fig3FullSchedule) {
+  expect_script_ok(R"(
+    sites 3
+    doc ABCDE
+    latency 10
+    at 0  site 2 delete 2 3
+    at 5  site 1 insert 1 12
+    at 22 site 3 insert 1 y
+    at 27 site 2 insert 4 x
+    run
+    expect-converged
+    expect-doc A12yBx
+  )");
+}
+
+TEST(Scripts, Fig2AblationDiverges) {
+  expect_script_ok(R"(
+    sites 3
+    doc ABCDE
+    latency 10
+    no-transform
+    at 0  site 2 delete 2 3
+    at 5  site 1 insert 1 12
+    at 22 site 3 insert 1 y
+    at 27 site 2 insert 4 x
+    run
+    expect-diverged
+    expect-doc-at 1 Ay1DxE
+  )");
+}
+
+TEST(Scripts, CrossingInsertsTieBreak) {
+  expect_script_ok(R"(
+    sites 2
+    doc HELLO
+    latency 10
+    at 0 site 1 insert 2 aa
+    at 0 site 2 insert 2 bb
+    run
+    expect-converged
+    expect-doc HEaabbLLO
+  )");
+}
+
+TEST(Scripts, JoinAndLeaveMidSession) {
+  expect_script_ok(R"(
+    sites 2
+    doc seed
+    latency 5
+    at 0   site 1 insert 4  one
+    at 50  join
+    at 100 site 3 insert 0 three:
+    at 150 leave 2
+    at 200 site 1 insert 0 !
+    run
+    expect-converged
+    expect-doc !three:seedone
+  )");
+}
+
+TEST(Scripts, InsertWithSpacesInPayload) {
+  expect_script_ok(R"(
+    sites 2
+    doc XY
+    at 0 site 1 insert 1 hello world
+    run
+    expect-converged
+    expect-doc Xhello worldY
+  )");
+}
+
+TEST(Scripts, EmptyInitialDoc) {
+  expect_script_ok(R"(
+    sites 2
+    at 0 site 1 insert 0 a
+    at 0 site 2 insert 0 b
+    run
+    expect-converged
+    expect-doc ab
+  )");
+}
+
+TEST(Scripts, FailedExpectationIsReportedNotThrown) {
+  const ScriptResult r = run_script(R"(
+    sites 2
+    doc AB
+    at 0 site 1 insert 0 x
+    run
+    expect-doc WRONG
+  )");
+  EXPECT_FALSE(r.passed);
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_NE(r.failures[0].find("expected \"WRONG\""), std::string::npos);
+}
+
+TEST(Scripts, MalformedScriptsThrow) {
+  EXPECT_THROW(run_script("bogus-statement"), ScriptError);
+  EXPECT_THROW(run_script("sites"), ScriptError);
+  EXPECT_THROW(run_script("at x site 1 insert 0 t"), ScriptError);
+  EXPECT_THROW(run_script("at 0 site 1 insert 0"), ScriptError);
+  EXPECT_THROW(run_script("at 0 site 1 explode 0 1"), ScriptError);
+}
+
+TEST(Scripts, ImplicitRunBeforeExpect) {
+  expect_script_ok(R"(
+    sites 2
+    doc AB
+    at 0 site 1 insert 2 C
+    expect-converged
+    expect-doc ABC
+  )");
+}
+
+}  // namespace
+}  // namespace ccvc::sim

@@ -1,0 +1,103 @@
+#include "net/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ccvc::net {
+namespace {
+
+Payload bytes_of(std::initializer_list<std::uint8_t> b) { return Payload(b); }
+
+TEST(Channel, DeliversAfterLatency) {
+  EventQueue q;
+  Channel ch(q, LatencyModel::fixed(10.0), util::Rng(1), "a->b");
+  std::vector<std::pair<double, Payload>> got;
+  ch.set_receiver([&](const Payload& p) { got.emplace_back(q.now(), p); });
+  ch.send(bytes_of({1, 2, 3}));
+  q.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 10.0);
+  EXPECT_EQ(got[0].second, bytes_of({1, 2, 3}));
+}
+
+TEST(Channel, FifoUnderJitter) {
+  // With wildly jittered latency, delivery order must still match send
+  // order (the TCP FIFO property §4 depends on).
+  EventQueue q;
+  Channel ch(q, LatencyModel::uniform(1.0, 100.0), util::Rng(7), "a->b");
+  std::vector<std::uint8_t> got;
+  ch.set_receiver([&](const Payload& p) { got.push_back(p[0]); });
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    q.schedule_at(i, [&ch, i] { ch.send(Payload{i}); });
+  }
+  q.run();
+  ASSERT_EQ(got.size(), 50u);
+  for (std::uint8_t i = 0; i < 50; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(Channel, DeliveryTimesAreMonotone) {
+  EventQueue q;
+  Channel ch(q, LatencyModel::uniform(1.0, 100.0), util::Rng(9), "x");
+  std::vector<double> times;
+  ch.set_receiver([&](const Payload&) { times.push_back(q.now()); });
+  for (int i = 0; i < 30; ++i) {
+    q.schedule_at(i, [&ch] { ch.send(Payload{0}); });
+  }
+  q.run();
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GE(times[i], times[i - 1]);
+  }
+}
+
+TEST(Channel, CountsMessagesAndBytes) {
+  EventQueue q;
+  Channel ch(q, LatencyModel::fixed(1.0), util::Rng(1), "x");
+  ch.set_receiver([](const Payload&) {});
+  ch.send(Payload(5, 0));
+  ch.send(Payload(11, 0));
+  EXPECT_EQ(ch.stats().messages, 2u);
+  EXPECT_EQ(ch.stats().bytes, 16u);
+  EXPECT_DOUBLE_EQ(ch.stats().msg_size.mean(), 8.0);
+}
+
+TEST(Channel, MissingReceiverThrowsAtDelivery) {
+  EventQueue q;
+  Channel ch(q, LatencyModel::fixed(1.0), util::Rng(1), "x");
+  ch.send(Payload{1});
+  EXPECT_THROW(q.run(), ContractViolation);
+}
+
+TEST(Network, BuildsAndFindsChannels) {
+  EventQueue q;
+  Network net(q, util::Rng(3));
+  net.add_channel(1, 0, LatencyModel::fixed(5.0));
+  net.add_channel(0, 1, LatencyModel::fixed(5.0));
+  EXPECT_TRUE(net.has_channel(1, 0));
+  EXPECT_FALSE(net.has_channel(1, 2));
+  EXPECT_THROW(net.channel(2, 0), ContractViolation);
+  EXPECT_THROW(net.add_channel(1, 0, LatencyModel::fixed(1.0)),
+               ContractViolation);
+}
+
+TEST(Network, AggregatesStats) {
+  EventQueue q;
+  Network net(q, util::Rng(3));
+  auto& a = net.add_channel(1, 2, LatencyModel::fixed(1.0));
+  auto& b = net.add_channel(2, 1, LatencyModel::fixed(1.0));
+  a.set_receiver([](const Payload&) {});
+  b.set_receiver([](const Payload&) {});
+  a.send(Payload(3, 0));
+  b.send(Payload(4, 0));
+  b.send(Payload(4, 0));
+  EXPECT_EQ(net.total_messages(), 3u);
+  EXPECT_EQ(net.total_bytes(), 11u);
+  int visited = 0;
+  net.for_each([&](SiteId, SiteId, const Channel&) { ++visited; });
+  EXPECT_EQ(visited, 2);
+}
+
+}  // namespace
+}  // namespace ccvc::net

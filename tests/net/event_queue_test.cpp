@@ -1,0 +1,101 @@
+#include "net/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ccvc::net {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30.0, [&] { order.push_back(3); });
+  q.schedule_at(10.0, [&] { order.push_back(1); });
+  q.schedule_at(20.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30.0);
+}
+
+TEST(EventQueue, SimultaneousEventsRunFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, NowAdvancesWithExecution) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule_at(7.5, [&] { seen = q.now(); });
+  q.run();
+  EXPECT_EQ(seen, 7.5);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule_at(10.0, [&] {
+    q.schedule_in(5.0, [&] { seen = q.now(); });
+  });
+  q.run();
+  EXPECT_EQ(seen, 15.0);
+}
+
+TEST(EventQueue, SchedulingIntoThePastThrows) {
+  EventQueue q;
+  q.schedule_at(10.0, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(5.0, [] {}), ContractViolation);
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), ContractViolation);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) q.schedule_in(1.0, chain);
+  };
+  q.schedule_at(0.0, chain);
+  EXPECT_EQ(q.run(), 5u);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    q.schedule_at(t, [&fired, &q] { fired.push_back(q.now()); });
+  }
+  EXPECT_EQ(q.run_until(2.5), 2u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(q.now(), 2.5);
+  EXPECT_EQ(q.pending(), 2u);
+  q.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(EventQueue, RunWithLimit) {
+  EventQueue q;
+  int n = 0;
+  for (int i = 0; i < 10; ++i) q.schedule_at(i, [&n] { ++n; });
+  EXPECT_EQ(q.run(4), 4u);
+  EXPECT_EQ(n, 4);
+  EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(EventQueue, StepOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  EXPECT_EQ(q.run(), 0u);
+}
+
+}  // namespace
+}  // namespace ccvc::net

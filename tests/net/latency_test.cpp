@@ -1,0 +1,61 @@
+#include "net/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ccvc::net {
+namespace {
+
+TEST(Latency, FixedIsConstant) {
+  util::Rng rng(1);
+  const auto m = LatencyModel::fixed(42.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(m.sample(rng), 42.0);
+}
+
+TEST(Latency, UniformStaysInRange) {
+  util::Rng rng(2);
+  const auto m = LatencyModel::uniform(10.0, 20.0);
+  double lo = 1e9, hi = -1;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = m.sample(rng);
+    EXPECT_GE(v, 10.0);
+    EXPECT_LT(v, 20.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 10.5);
+  EXPECT_GT(hi, 19.5);
+}
+
+TEST(Latency, LogNormalRespectsFloorAndMedian) {
+  util::Rng rng(3);
+  const auto m = LatencyModel::lognormal(50.0, 0.5, 20.0);
+  int below_median = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = m.sample(rng);
+    EXPECT_GT(v, 20.0);
+    if (v < 50.0) ++below_median;
+  }
+  // Median of the shifted lognormal is ~50ms.
+  EXPECT_NEAR(static_cast<double>(below_median) / n, 0.5, 0.02);
+}
+
+TEST(Latency, InvalidParamsThrow) {
+  EXPECT_THROW(LatencyModel::fixed(-1.0), ContractViolation);
+  EXPECT_THROW(LatencyModel::uniform(5.0, 1.0), ContractViolation);
+  EXPECT_THROW(LatencyModel::lognormal(10.0, 0.5, 10.0), ContractViolation);
+}
+
+TEST(Latency, Describe) {
+  EXPECT_EQ(LatencyModel::fixed(10.0).describe(), "fixed(10ms)");
+  EXPECT_NE(LatencyModel::uniform(1, 2).describe().find("uniform"),
+            std::string::npos);
+  EXPECT_NE(LatencyModel::lognormal(50, 0.5, 20).describe().find("lognormal"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccvc::net

@@ -1,0 +1,121 @@
+// Wire coalescing: coalesce/decompose must preserve application
+// semantics exactly while shrinking the encoded form.
+#include <gtest/gtest.h>
+
+#include "doc/document.hpp"
+#include "ot/text_op.hpp"
+#include "util/rng.hpp"
+
+namespace ccvc::ot {
+namespace {
+
+std::string apply_str(std::string s, const OpList& ops) {
+  doc::Document d(s);
+  d.apply_copy(ops);
+  return d.text();
+}
+
+TEST(Coalesce, DeleteRunBecomesOneOp) {
+  const OpList run = make_delete(2, 5, 1);
+  const OpList merged = coalesce(run);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].kind, OpKind::kDelete);
+  EXPECT_EQ(merged[0].pos, 2u);
+  EXPECT_EQ(merged[0].count, 5u);
+  EXPECT_EQ(apply_str("0123456789", merged), apply_str("0123456789", run));
+}
+
+TEST(Coalesce, ContiguousInsertsMerge) {
+  OpList run = make_insert(1, "ab", 1);
+  run.push_back(make_insert(3, "cd", 1)[0]);  // lands right after
+  const OpList merged = coalesce(run);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].text, "abcd");
+  EXPECT_EQ(apply_str("XY", merged), apply_str("XY", run));
+}
+
+TEST(Coalesce, NonContiguousStaysSeparate) {
+  OpList ops = make_insert(0, "a", 1);
+  ops.push_back(make_insert(5, "b", 1)[0]);
+  EXPECT_EQ(coalesce(ops).size(), 2u);
+}
+
+TEST(Coalesce, DifferentOriginsStaySeparate) {
+  OpList ops = make_delete(1, 1, 1);
+  ops.push_back(make_delete(1, 1, 2)[0]);
+  EXPECT_EQ(coalesce(ops).size(), 2u);
+}
+
+TEST(Coalesce, IdentitiesDropButNotToEmpty) {
+  OpList ops = make_identity(1);
+  ops.push_back(make_insert(0, "x", 1)[0]);
+  const OpList merged = coalesce(ops);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].kind, OpKind::kInsert);
+
+  const OpList only_nop = coalesce(make_identity(2));
+  ASSERT_EQ(only_nop.size(), 1u);
+  EXPECT_TRUE(only_nop[0].is_identity());
+}
+
+TEST(Coalesce, DecomposeInvertsDeleteMerging) {
+  doc::Document d("abcdefgh");
+  OpList run = make_delete(2, 4, 1);
+  d.apply(run);  // capture text per primitive
+  const OpList merged = coalesce(run);
+  const OpList back = decompose(merged);
+  EXPECT_EQ(back, run);  // positions, counts, AND captured text
+}
+
+TEST(Coalesce, DecomposeWithoutTextYieldsEmptyTexts) {
+  PrimOp wide;
+  wide.kind = OpKind::kDelete;
+  wide.pos = 3;
+  wide.count = 3;
+  wide.origin = 2;
+  const OpList out = decompose(OpList{wide});
+  ASSERT_EQ(out.size(), 3u);
+  for (const auto& p : out) {
+    EXPECT_EQ(p.count, 1u);
+    EXPECT_EQ(p.pos, 3u);
+    EXPECT_TRUE(p.text.empty());
+  }
+}
+
+TEST(Coalesce, WireSizeShrinksForRangeDeletes) {
+  const OpList run = make_delete(10, 12, 1);
+  EXPECT_LT(encoded_size(coalesce(run)), encoded_size(run) / 3);
+}
+
+TEST(Coalesce, RandomizedSemanticsPreserved) {
+  util::Rng rng(99);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string doc(20, 'x');
+    for (auto& c : doc) c = static_cast<char>('a' + rng.index(26));
+
+    // Random op list built against the evolving document.
+    OpList ops;
+    doc::Document build(doc);
+    for (int k = 0; k < 4; ++k) {
+      if (build.size() == 0 || rng.chance(0.5)) {
+        OpList step = make_insert(rng.index(build.size() + 1),
+                                  std::string(1 + rng.index(3), 'Q'),
+                                  1);
+        build.apply_copy(step);
+        ops.insert(ops.end(), step.begin(), step.end());
+      } else {
+        const std::size_t len =
+            1 + rng.index(std::min<std::size_t>(build.size(), 4));
+        OpList step =
+            make_delete(rng.index(build.size() - len + 1), len, 1);
+        build.apply_copy(step);
+        ops.insert(ops.end(), step.begin(), step.end());
+      }
+    }
+    ASSERT_EQ(apply_str(doc, coalesce(ops)), apply_str(doc, ops));
+    ASSERT_EQ(apply_str(doc, decompose(coalesce(ops))), apply_str(doc, ops));
+  }
+}
+
+}  // namespace
+}  // namespace ccvc::ot

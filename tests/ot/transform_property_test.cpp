@@ -1,0 +1,123 @@
+// Property tests: TP1 over randomized operations.
+//
+// TP1 (the diamond property) is the *only* transformation property the
+// star-topology control needs for convergence — the notifier serializes
+// all operations, so no transformation path ever branches the way TP2
+// guards against.  These sweeps exercise it exhaustively:
+//   * primitive × primitive on random documents,
+//   * user-op lists (multi-char inserts, decomposed range deletes),
+//   * chains: one op against a *sequence* of sequential ops.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "doc/document.hpp"
+#include "ot/transform.hpp"
+#include "util/rng.hpp"
+
+namespace ccvc::ot {
+namespace {
+
+std::string apply_str(std::string s, const OpList& ops) {
+  doc::Document d(s);
+  d.apply_copy(ops);
+  return d.text();
+}
+
+std::string random_doc(util::Rng& rng, std::size_t max_len) {
+  const std::size_t len = rng.index(max_len + 1);
+  std::string s;
+  for (std::size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>('a' + rng.index(26)));
+  }
+  return s;
+}
+
+/// A random user-level operation valid on a document of size `doc_size`.
+OpList random_user_op(util::Rng& rng, std::size_t doc_size, SiteId origin) {
+  if (doc_size == 0 || rng.chance(0.6)) {
+    const std::size_t len = 1 + rng.index(4);
+    std::string text;
+    for (std::size_t i = 0; i < len; ++i) {
+      text.push_back(static_cast<char>('A' + rng.index(26)));
+    }
+    return make_insert(rng.index(doc_size + 1), std::move(text), origin);
+  }
+  const std::size_t len = 1 + rng.index(std::min<std::size_t>(doc_size, 4));
+  const std::size_t pos = rng.index(doc_size - len + 1);
+  return make_delete(pos, len, origin);
+}
+
+class Tp1Sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Tp1Sweep, PrimitivePairsConverge) {
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::string s = random_doc(rng, 12);
+    // Single-primitive ops (1-char insert or 1-char delete).
+    auto rand_prim = [&](SiteId origin) -> OpList {
+      if (s.empty() || rng.chance(0.5)) {
+        std::string t(1, static_cast<char>('A' + rng.index(26)));
+        return make_insert(rng.index(s.size() + 1), t, origin);
+      }
+      return make_delete(rng.index(s.size()), 1, origin);
+    };
+    const OpList a = rand_prim(1);
+    const OpList b = rand_prim(2);
+    auto [a2, b2] = transform(a, b);
+    const std::string r1 = apply_str(apply_str(s, a), b2);
+    const std::string r2 = apply_str(apply_str(s, b), a2);
+    ASSERT_EQ(r1, r2) << "doc=\"" << s << "\" a=" << to_string(a)
+                      << " b=" << to_string(b) << " a'=" << to_string(a2)
+                      << " b'=" << to_string(b2);
+  }
+}
+
+TEST_P(Tp1Sweep, UserOpPairsConverge) {
+  util::Rng rng(GetParam() ^ 0x9e3779b9u);
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::string s = random_doc(rng, 16);
+    const OpList a = random_user_op(rng, s.size(), 1);
+    const OpList b = random_user_op(rng, s.size(), 2);
+    auto [a2, b2] = transform(a, b);
+    const std::string r1 = apply_str(apply_str(s, a), b2);
+    const std::string r2 = apply_str(apply_str(s, b), a2);
+    ASSERT_EQ(r1, r2) << "doc=\"" << s << "\" a=" << to_string(a)
+                      << " b=" << to_string(b);
+  }
+}
+
+TEST_P(Tp1Sweep, OpAgainstSequenceConverges) {
+  // a is one user op; B is a *sequence* of user ops applied one after
+  // another (each defined on the doc produced by its predecessors).
+  // transform(a, B) must satisfy the generalized diamond:
+  //   S·a·B' == S·B·a'.
+  util::Rng rng(GetParam() ^ 0xfeedfaceu);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::string s = random_doc(rng, 16);
+    const OpList a = random_user_op(rng, s.size(), 1);
+
+    OpList b_chain;
+    doc::Document chained(s);
+    const std::size_t chain_len = 1 + rng.index(4);
+    for (std::size_t k = 0; k < chain_len; ++k) {
+      OpList step = random_user_op(rng, chained.size(), 2);
+      chained.apply_copy(step);
+      b_chain.insert(b_chain.end(), step.begin(), step.end());
+    }
+
+    auto [a2, b2] = transform(a, b_chain);
+    const std::string r1 = apply_str(apply_str(s, a), b2);
+    const std::string r2 = apply_str(apply_str(s, b_chain), a2);
+    ASSERT_EQ(r1, r2) << "doc=\"" << s << "\" a=" << to_string(a)
+                      << " B=" << to_string(b_chain);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Tp1Sweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+}  // namespace
+}  // namespace ccvc::ot

@@ -1,0 +1,210 @@
+// Unit tests of include_prim / transform on hand-picked cases, including
+// every kind pair and every boundary relation the §2.3 rules define.
+#include "ot/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "doc/document.hpp"
+
+namespace ccvc::ot {
+namespace {
+
+PrimOp ins(std::size_t pos, std::string text, SiteId origin) {
+  return make_insert(pos, std::move(text), origin)[0];
+}
+
+PrimOp del1(std::size_t pos, SiteId origin) {
+  return make_delete(pos, 1, origin)[0];
+}
+
+std::string apply_str(std::string s, const OpList& ops) {
+  doc::Document d(s);
+  d.apply_copy(ops);
+  return d.text();
+}
+
+// ---- insert vs insert ------------------------------------------------
+
+TEST(IncludePrim, InsertBeforeInsertUnchanged) {
+  const PrimOp a = ins(1, "xx", 1);
+  const PrimOp b = ins(4, "yy", 2);
+  EXPECT_EQ(include_prim(a, b).pos, 1u);
+  EXPECT_EQ(include_prim(b, a).pos, 6u);
+}
+
+TEST(IncludePrim, InsertTieBreaksBySite) {
+  const PrimOp a = ins(2, "A", 1);
+  const PrimOp b = ins(2, "B", 2);
+  // Site 1 wins the left slot: a stays, b shifts by |a.text|.
+  EXPECT_EQ(include_prim(a, b).pos, 2u);
+  EXPECT_EQ(include_prim(b, a).pos, 3u);
+}
+
+TEST(IncludePrim, InsertTieResultsConvergeBothOrders) {
+  const PrimOp a = ins(2, "AA", 1);
+  const PrimOp b = ins(2, "B", 2);
+  const std::string s = "wxyz";
+  const std::string r1 = apply_str(apply_str(s, {a}), {include_prim(b, a)});
+  const std::string r2 = apply_str(apply_str(s, {b}), {include_prim(a, b)});
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1, "wxAAByz");  // site 1's text left of site 2's
+}
+
+// ---- insert vs delete ------------------------------------------------
+
+TEST(IncludePrim, InsertLeftOfDeleteUnchanged) {
+  const PrimOp a = ins(1, "q", 1);
+  const PrimOp b = del1(3, 2);
+  EXPECT_EQ(include_prim(a, b).pos, 1u);
+}
+
+TEST(IncludePrim, InsertAtDeletePositionUnchanged) {
+  // Insert at the deleted char's position: the insert goes before it, so
+  // the delete does not pull it left.
+  const PrimOp a = ins(3, "q", 1);
+  const PrimOp b = del1(3, 2);
+  EXPECT_EQ(include_prim(a, b).pos, 3u);
+}
+
+TEST(IncludePrim, InsertRightOfDeleteShiftsLeft) {
+  const PrimOp a = ins(4, "q", 1);
+  const PrimOp b = del1(2, 2);
+  EXPECT_EQ(include_prim(a, b).pos, 3u);
+}
+
+// ---- delete vs insert ------------------------------------------------
+
+TEST(IncludePrim, DeleteLeftOfInsertUnchanged) {
+  const PrimOp a = del1(1, 1);
+  const PrimOp b = ins(3, "zz", 2);
+  EXPECT_EQ(include_prim(a, b).pos, 1u);
+}
+
+TEST(IncludePrim, DeleteAtInsertPositionShiftsRight) {
+  const PrimOp a = del1(2, 1);
+  const PrimOp b = ins(2, "zz", 2);
+  EXPECT_EQ(include_prim(a, b).pos, 4u);
+}
+
+TEST(IncludePrim, DeleteRightOfInsertShiftsRight) {
+  const PrimOp a = del1(5, 1);
+  const PrimOp b = ins(1, "zz", 2);
+  EXPECT_EQ(include_prim(a, b).pos, 7u);
+}
+
+// ---- delete vs delete ------------------------------------------------
+
+TEST(IncludePrim, DeleteLeftOfDeleteUnchanged) {
+  EXPECT_EQ(include_prim(del1(1, 1), del1(4, 2)).pos, 1u);
+}
+
+TEST(IncludePrim, DeleteRightOfDeleteShiftsLeft) {
+  EXPECT_EQ(include_prim(del1(4, 1), del1(1, 2)).pos, 3u);
+}
+
+TEST(IncludePrim, SameCharDeletedTwiceBecomesIdentity) {
+  const PrimOp out = include_prim(del1(3, 1), del1(3, 2));
+  EXPECT_EQ(out.kind, OpKind::kIdentity);
+  // Both users wanted the char gone; deleting a neighbour instead would
+  // violate intention.  Apply-check:
+  const std::string s = "abcdef";
+  const std::string r =
+      apply_str(apply_str(s, {del1(3, 2)}), {out});
+  EXPECT_EQ(r, "abcef");
+}
+
+// ---- identity --------------------------------------------------------
+
+TEST(IncludePrim, IdentityIsNeutral) {
+  const PrimOp nop = make_identity(1)[0];
+  const PrimOp a = ins(2, "x", 2);
+  EXPECT_EQ(include_prim(a, nop), a);
+  EXPECT_EQ(include_prim(nop, a).kind, OpKind::kIdentity);
+}
+
+TEST(IncludePrim, RejectsUndecomposedDelete) {
+  PrimOp wide;
+  wide.kind = OpKind::kDelete;
+  wide.pos = 0;
+  wide.count = 3;
+  EXPECT_THROW(include_prim(wide, del1(0, 2)), ContractViolation);
+}
+
+// ---- the §2.2 worked example ------------------------------------------
+
+TEST(Transform, PaperSection22Example) {
+  // O1 = Insert["12", 1] at site 1; O2 = Delete[3, 2] at site 2, both on
+  // "ABCDE".  Executing O1 then IT(O2, O1) must give "A12B" — the paper's
+  // intention-preserved result — with IT(O2, O1) ≡ Delete[3, 4].
+  const OpList o1 = make_insert(1, "12", 1);
+  const OpList o2 = make_delete(2, 3, 2);
+
+  const OpList o2_after_o1 = include_list(o2, o1);
+  for (const auto& p : o2_after_o1) {
+    EXPECT_EQ(p.kind, OpKind::kDelete);
+    EXPECT_EQ(p.pos, 4u);  // Delete[3, 4] decomposed
+  }
+  EXPECT_EQ(apply_str(apply_str("ABCDE", o1), o2_after_o1), "A12B");
+
+  // And the other order: O2 then IT(O1, O2).
+  const OpList o1_after_o2 = include_list(o1, o2);
+  EXPECT_EQ(apply_str(apply_str("ABCDE", o2), o1_after_o2), "A12B");
+
+  // Without transformation site 1 would get the intention-violating
+  // "A1DE" (§2.2).
+  EXPECT_EQ(apply_str(apply_str("ABCDE", o1), o2), "A1DE");
+}
+
+// ---- sequence composition ---------------------------------------------
+
+TEST(Transform, ListTransformMatchesStepwiseFold) {
+  const OpList a = make_insert(2, "XY", 1);
+  const OpList b = make_delete(1, 3, 2);
+  const OpList c = make_insert(0, "q", 3);  // applies after b
+
+  // transform(a, b ++ c) must equal transforming a through b then c.
+  OpList bc = b;
+  bc.insert(bc.end(), c.begin(), c.end());
+  const OpList direct = transform(a, bc).first;
+
+  auto [a1, b1] = transform(a, b);
+  const OpList stepwise = transform(a1, c).first;
+  EXPECT_EQ(direct, stepwise);
+}
+
+TEST(Transform, EmptyListsAreNeutral) {
+  const OpList a = make_insert(0, "x", 1);
+  auto [a1, b1] = transform(a, {});
+  EXPECT_EQ(a1, a);
+  EXPECT_TRUE(b1.empty());
+  auto [a2, b2] = transform({}, a);
+  EXPECT_TRUE(a2.empty());
+  EXPECT_EQ(b2, a);
+}
+
+TEST(Transform, ConcurrentInsertIntoDeletedRangeSurvives) {
+  // b deletes "bcd" from "abcde"; a concurrently inserts "!" between c
+  // and d (pos 3).  Intention: the insert survives, the three original
+  // chars go.  Both orders must agree.
+  const OpList a = make_insert(3, "!", 1);
+  const OpList b = make_delete(1, 3, 2);
+  auto [a_after_b, b_after_a] = transform(a, b);
+  const std::string r1 = apply_str(apply_str("abcde", a), b_after_a);
+  const std::string r2 = apply_str(apply_str("abcde", b), a_after_b);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1, "a!e");
+}
+
+TEST(Transform, OverlappingDeletesConverge) {
+  // b deletes [1,4) of "abcdef", a deletes [2,5): overlap "cd".
+  const OpList a = make_delete(2, 3, 1);
+  const OpList b = make_delete(1, 3, 2);
+  auto [a2, b2] = transform(a, b);
+  const std::string r1 = apply_str(apply_str("abcdef", a), b2);
+  const std::string r2 = apply_str(apply_str("abcdef", b), a2);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1, "af");  // union [1,5) deleted exactly once
+}
+
+}  // namespace
+}  // namespace ccvc::ot

@@ -1,0 +1,114 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace ccvc::util {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.below(1000), b.below(1000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.below(1u << 30) == b.below(1u << 30)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+  EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng r(7);
+  EXPECT_THROW(r.below(0), ContractViolation);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanRoughlyCentered) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.uniform(10.0, 20.0);
+  EXPECT_NEAR(sum / n, 15.0, 0.15);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(19);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(50.0);
+  EXPECT_NEAR(sum / n, 50.0, 2.5);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(23);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(Rng, ForkIsIndependentStream) {
+  Rng a(31);
+  Rng child = a.fork();
+  // The child must not replay the parent's stream.
+  Rng b(31);
+  (void)b.fork();
+  EXPECT_EQ(child.below(1000000), Rng(31).fork().below(1000000));
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng r(37);
+  EXPECT_THROW(r.exponential(0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ccvc::util

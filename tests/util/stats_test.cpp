@@ -1,0 +1,88 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace ccvc::util {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  const Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator a;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(v);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(Accumulator, SingleSampleVarianceZero) {
+  Accumulator a;
+  a.add(3.5);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.stddev(), 0.0);
+  EXPECT_EQ(a.min(), 3.5);
+  EXPECT_EQ(a.max(), 3.5);
+}
+
+TEST(Accumulator, NegativeValues) {
+  Accumulator a;
+  a.add(-5.0);
+  a.add(5.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), -5.0);
+}
+
+TEST(Histogram, ExactPercentiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(h.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1), 1.0);
+}
+
+TEST(Histogram, PercentileAfterMoreAdds) {
+  Histogram h;
+  h.add(10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 10.0);
+  h.add(1.0);  // re-sorting must happen after mutation
+  EXPECT_DOUBLE_EQ(h.percentile(50), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 10.0);
+}
+
+TEST(Histogram, EmptyPercentileIsZero) {
+  const Histogram h;
+  EXPECT_EQ(h.percentile(99), 0.0);
+}
+
+TEST(Histogram, BadPercentileThrows) {
+  Histogram h;
+  h.add(1.0);
+  EXPECT_THROW(h.percentile(-1), ContractViolation);
+  EXPECT_THROW(h.percentile(101), ContractViolation);
+}
+
+TEST(Histogram, BriefMentionsCount) {
+  Histogram h;
+  h.add(1.0);
+  h.add(2.0);
+  const std::string s = h.brief();
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccvc::util

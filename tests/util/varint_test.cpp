@@ -1,0 +1,111 @@
+#include "util/varint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace ccvc::util {
+namespace {
+
+TEST(Varint, RoundTripBoundaries) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 16383,
+                                 16384,
+                                 (1ull << 32) - 1,
+                                 1ull << 32,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (const auto v : cases) {
+    ByteSink sink;
+    sink.put_uvarint(v);
+    EXPECT_EQ(sink.size(), uvarint_size(v)) << v;
+    ByteSource src(sink.bytes());
+    EXPECT_EQ(src.get_uvarint(), v);
+    EXPECT_TRUE(src.exhausted());
+  }
+}
+
+TEST(Varint, SizeTable) {
+  EXPECT_EQ(uvarint_size(0), 1u);
+  EXPECT_EQ(uvarint_size(127), 1u);
+  EXPECT_EQ(uvarint_size(128), 2u);
+  EXPECT_EQ(uvarint_size(16383), 2u);
+  EXPECT_EQ(uvarint_size(16384), 3u);
+  EXPECT_EQ(uvarint_size(std::numeric_limits<std::uint64_t>::max()), 10u);
+}
+
+TEST(Varint, SignedZigZag) {
+  const std::int64_t cases[] = {0, -1, 1, -64, 63, -65,
+                                std::numeric_limits<std::int64_t>::min(),
+                                std::numeric_limits<std::int64_t>::max()};
+  for (const auto v : cases) {
+    ByteSink sink;
+    sink.put_svarint(v);
+    ByteSource src(sink.bytes());
+    EXPECT_EQ(src.get_svarint(), v);
+  }
+}
+
+TEST(Varint, SmallNegativesAreSmall) {
+  ByteSink sink;
+  sink.put_svarint(-1);
+  EXPECT_EQ(sink.size(), 1u);
+}
+
+TEST(Varint, StringRoundTrip) {
+  ByteSink sink;
+  sink.put_string("hello");
+  sink.put_string("");
+  sink.put_string(std::string(200, 'x'));
+  ByteSource src(sink.bytes());
+  EXPECT_EQ(src.get_string(), "hello");
+  EXPECT_EQ(src.get_string(), "");
+  EXPECT_EQ(src.get_string(), std::string(200, 'x'));
+  EXPECT_TRUE(src.exhausted());
+}
+
+TEST(Varint, UnderflowThrows) {
+  ByteSink sink;
+  sink.put_u8(0x80);  // continuation with no terminator
+  ByteSource src(sink.bytes());
+  EXPECT_THROW(src.get_uvarint(), DecodeError);
+}
+
+TEST(Varint, OverlongVarintThrows) {
+  ByteSink sink;
+  for (int i = 0; i < 11; ++i) sink.put_u8(0x80);
+  ByteSource src(sink.bytes());
+  EXPECT_THROW(src.get_uvarint(), DecodeError);
+}
+
+TEST(Varint, StringLengthBeyondBufferThrows) {
+  ByteSink sink;
+  sink.put_uvarint(100);  // claims 100 bytes, provides none
+  ByteSource src(sink.bytes());
+  EXPECT_THROW(src.get_string(), DecodeError);
+}
+
+TEST(Varint, EmptySourceThrows) {
+  const std::vector<std::uint8_t> empty;
+  ByteSource src(empty);
+  EXPECT_THROW(src.get_u8(), DecodeError);
+}
+
+TEST(Varint, MixedSequence) {
+  ByteSink sink;
+  sink.put_u8(0xAB);
+  sink.put_uvarint(300);
+  sink.put_string("ab");
+  sink.put_svarint(-300);
+  ByteSource src(sink.bytes());
+  EXPECT_EQ(src.get_u8(), 0xAB);
+  EXPECT_EQ(src.get_uvarint(), 300u);
+  EXPECT_EQ(src.get_string(), "ab");
+  EXPECT_EQ(src.get_svarint(), -300);
+  EXPECT_TRUE(src.exhausted());
+}
+
+}  // namespace
+}  // namespace ccvc::util
