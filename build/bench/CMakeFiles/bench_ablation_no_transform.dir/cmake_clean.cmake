@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_no_transform.dir/bench_ablation_no_transform.cpp.o"
+  "CMakeFiles/bench_ablation_no_transform.dir/bench_ablation_no_transform.cpp.o.d"
+  "bench_ablation_no_transform"
+  "bench_ablation_no_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_no_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_no_transform.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clock_memory.dir/bench_clock_memory.cpp.o"
+  "CMakeFiles/bench_clock_memory.dir/bench_clock_memory.cpp.o.d"
+  "bench_clock_memory"
+  "bench_clock_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clock_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

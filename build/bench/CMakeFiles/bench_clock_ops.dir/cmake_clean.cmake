@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clock_ops.dir/bench_clock_ops.cpp.o"
+  "CMakeFiles/bench_clock_ops.dir/bench_clock_ops.cpp.o.d"
+  "bench_clock_ops"
+  "bench_clock_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clock_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

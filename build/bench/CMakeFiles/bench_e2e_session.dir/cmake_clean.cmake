@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2e_session.dir/bench_e2e_session.cpp.o"
+  "CMakeFiles/bench_e2e_session.dir/bench_e2e_session.cpp.o.d"
+  "bench_e2e_session"
+  "bench_e2e_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

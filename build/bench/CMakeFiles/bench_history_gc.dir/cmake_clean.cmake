@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_history_gc.dir/bench_history_gc.cpp.o"
+  "CMakeFiles/bench_history_gc.dir/bench_history_gc.cpp.o.d"
+  "bench_history_gc"
+  "bench_history_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_history_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

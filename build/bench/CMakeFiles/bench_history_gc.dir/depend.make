@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_history_gc.
+# This may be replaced when dependencies are built.

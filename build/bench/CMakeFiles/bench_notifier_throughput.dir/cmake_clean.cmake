@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_notifier_throughput.dir/bench_notifier_throughput.cpp.o"
+  "CMakeFiles/bench_notifier_throughput.dir/bench_notifier_throughput.cpp.o.d"
+  "bench_notifier_throughput"
+  "bench_notifier_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_notifier_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timestamp_overhead.dir/bench_timestamp_overhead.cpp.o"
+  "CMakeFiles/bench_timestamp_overhead.dir/bench_timestamp_overhead.cpp.o.d"
+  "bench_timestamp_overhead"
+  "bench_timestamp_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timestamp_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_verdict_equivalence.dir/bench_verdict_equivalence.cpp.o"
+  "CMakeFiles/bench_verdict_equivalence.dir/bench_verdict_equivalence.cpp.o.d"
+  "bench_verdict_equivalence"
+  "bench_verdict_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_verdict_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causality_explorer.dir/causality_explorer.cpp.o"
+  "CMakeFiles/causality_explorer.dir/causality_explorer.cpp.o.d"
+  "causality_explorer"
+  "causality_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causality_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collab_session.dir/collab_session.cpp.o"
+  "CMakeFiles/collab_session.dir/collab_session.cpp.o.d"
+  "collab_session"
+  "collab_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collab_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

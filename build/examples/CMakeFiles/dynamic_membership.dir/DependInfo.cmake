@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dynamic_membership.cpp" "examples/CMakeFiles/dynamic_membership.dir/dynamic_membership.cpp.o" "gcc" "examples/CMakeFiles/dynamic_membership.dir/dynamic_membership.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ccvc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ccvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/doc/CMakeFiles/ccvc_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ot/CMakeFiles/ccvc_ot.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocks/CMakeFiles/ccvc_clocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccvc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_membership.dir/dynamic_membership.cpp.o"
+  "CMakeFiles/dynamic_membership.dir/dynamic_membership.cpp.o.d"
+  "dynamic_membership"
+  "dynamic_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/editor_repl.dir/editor_repl.cpp.o"
+  "CMakeFiles/editor_repl.dir/editor_repl.cpp.o.d"
+  "editor_repl"
+  "editor_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/editor_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

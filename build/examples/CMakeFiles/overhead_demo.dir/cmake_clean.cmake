@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_demo.dir/overhead_demo.cpp.o"
+  "CMakeFiles/overhead_demo.dir/overhead_demo.cpp.o.d"
+  "overhead_demo"
+  "overhead_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

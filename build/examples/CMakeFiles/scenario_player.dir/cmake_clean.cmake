@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_player.dir/scenario_player.cpp.o"
+  "CMakeFiles/scenario_player.dir/scenario_player.cpp.o.d"
+  "scenario_player"
+  "scenario_player.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_player.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

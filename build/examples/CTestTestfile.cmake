@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_collab_session "/root/repo/build/examples/collab_session" "4" "10")
+set_tests_properties(example_collab_session PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_causality_explorer "/root/repo/build/examples/causality_explorer")
+set_tests_properties(example_causality_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_overhead_demo "/root/repo/build/examples/overhead_demo" "32")
+set_tests_properties(example_overhead_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dynamic_membership "/root/repo/build/examples/dynamic_membership")
+set_tests_properties(example_dynamic_membership PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scenario_player "/root/repo/build/examples/scenario_player")
+set_tests_properties(example_scenario_player PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_editor_repl "/root/repo/build/examples/editor_repl" "2")
+set_tests_properties(example_editor_repl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(scenario_fig3_walkthrough "/root/repo/build/examples/scenario_player" "/root/repo/scenarios/fig3_walkthrough.txt")
+set_tests_properties(scenario_fig3_walkthrough PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(scenario_fig2_no_transform "/root/repo/build/examples/scenario_player" "/root/repo/scenarios/fig2_no_transform.txt")
+set_tests_properties(scenario_fig2_no_transform PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(scenario_membership_churn "/root/repo/build/examples/scenario_player" "/root/repo/scenarios/membership_churn.txt")
+set_tests_properties(scenario_membership_churn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clocks/compressed_sv.cpp" "src/clocks/CMakeFiles/ccvc_clocks.dir/compressed_sv.cpp.o" "gcc" "src/clocks/CMakeFiles/ccvc_clocks.dir/compressed_sv.cpp.o.d"
+  "/root/repo/src/clocks/dependency_log.cpp" "src/clocks/CMakeFiles/ccvc_clocks.dir/dependency_log.cpp.o" "gcc" "src/clocks/CMakeFiles/ccvc_clocks.dir/dependency_log.cpp.o.d"
+  "/root/repo/src/clocks/matrix_clock.cpp" "src/clocks/CMakeFiles/ccvc_clocks.dir/matrix_clock.cpp.o" "gcc" "src/clocks/CMakeFiles/ccvc_clocks.dir/matrix_clock.cpp.o.d"
+  "/root/repo/src/clocks/sk_clock.cpp" "src/clocks/CMakeFiles/ccvc_clocks.dir/sk_clock.cpp.o" "gcc" "src/clocks/CMakeFiles/ccvc_clocks.dir/sk_clock.cpp.o.d"
+  "/root/repo/src/clocks/version_vector.cpp" "src/clocks/CMakeFiles/ccvc_clocks.dir/version_vector.cpp.o" "gcc" "src/clocks/CMakeFiles/ccvc_clocks.dir/version_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccvc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

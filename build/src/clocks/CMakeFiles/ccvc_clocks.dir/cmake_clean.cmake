@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccvc_clocks.dir/compressed_sv.cpp.o"
+  "CMakeFiles/ccvc_clocks.dir/compressed_sv.cpp.o.d"
+  "CMakeFiles/ccvc_clocks.dir/dependency_log.cpp.o"
+  "CMakeFiles/ccvc_clocks.dir/dependency_log.cpp.o.d"
+  "CMakeFiles/ccvc_clocks.dir/matrix_clock.cpp.o"
+  "CMakeFiles/ccvc_clocks.dir/matrix_clock.cpp.o.d"
+  "CMakeFiles/ccvc_clocks.dir/sk_clock.cpp.o"
+  "CMakeFiles/ccvc_clocks.dir/sk_clock.cpp.o.d"
+  "CMakeFiles/ccvc_clocks.dir/version_vector.cpp.o"
+  "CMakeFiles/ccvc_clocks.dir/version_vector.cpp.o.d"
+  "libccvc_clocks.a"
+  "libccvc_clocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccvc_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

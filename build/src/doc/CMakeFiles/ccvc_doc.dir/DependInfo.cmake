@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/doc/document.cpp" "src/doc/CMakeFiles/ccvc_doc.dir/document.cpp.o" "gcc" "src/doc/CMakeFiles/ccvc_doc.dir/document.cpp.o.d"
+  "/root/repo/src/doc/gap_buffer.cpp" "src/doc/CMakeFiles/ccvc_doc.dir/gap_buffer.cpp.o" "gcc" "src/doc/CMakeFiles/ccvc_doc.dir/gap_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccvc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ot/CMakeFiles/ccvc_ot.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

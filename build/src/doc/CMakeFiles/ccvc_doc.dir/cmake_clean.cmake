@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccvc_doc.dir/document.cpp.o"
+  "CMakeFiles/ccvc_doc.dir/document.cpp.o.d"
+  "CMakeFiles/ccvc_doc.dir/gap_buffer.cpp.o"
+  "CMakeFiles/ccvc_doc.dir/gap_buffer.cpp.o.d"
+  "libccvc_doc.a"
+  "libccvc_doc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccvc_doc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccvc_doc.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ccvc_doc.
+# This may be replaced when dependencies are built.

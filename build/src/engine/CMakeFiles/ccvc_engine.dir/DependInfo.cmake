@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/client_site.cpp" "src/engine/CMakeFiles/ccvc_engine.dir/client_site.cpp.o" "gcc" "src/engine/CMakeFiles/ccvc_engine.dir/client_site.cpp.o.d"
+  "/root/repo/src/engine/got.cpp" "src/engine/CMakeFiles/ccvc_engine.dir/got.cpp.o" "gcc" "src/engine/CMakeFiles/ccvc_engine.dir/got.cpp.o.d"
+  "/root/repo/src/engine/mesh_site.cpp" "src/engine/CMakeFiles/ccvc_engine.dir/mesh_site.cpp.o" "gcc" "src/engine/CMakeFiles/ccvc_engine.dir/mesh_site.cpp.o.d"
+  "/root/repo/src/engine/message.cpp" "src/engine/CMakeFiles/ccvc_engine.dir/message.cpp.o" "gcc" "src/engine/CMakeFiles/ccvc_engine.dir/message.cpp.o.d"
+  "/root/repo/src/engine/notifier_site.cpp" "src/engine/CMakeFiles/ccvc_engine.dir/notifier_site.cpp.o" "gcc" "src/engine/CMakeFiles/ccvc_engine.dir/notifier_site.cpp.o.d"
+  "/root/repo/src/engine/session.cpp" "src/engine/CMakeFiles/ccvc_engine.dir/session.cpp.o" "gcc" "src/engine/CMakeFiles/ccvc_engine.dir/session.cpp.o.d"
+  "/root/repo/src/engine/snapshot.cpp" "src/engine/CMakeFiles/ccvc_engine.dir/snapshot.cpp.o" "gcc" "src/engine/CMakeFiles/ccvc_engine.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccvc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocks/CMakeFiles/ccvc_clocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/ot/CMakeFiles/ccvc_ot.dir/DependInfo.cmake"
+  "/root/repo/build/src/doc/CMakeFiles/ccvc_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ccvc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccvc_engine.dir/client_site.cpp.o"
+  "CMakeFiles/ccvc_engine.dir/client_site.cpp.o.d"
+  "CMakeFiles/ccvc_engine.dir/got.cpp.o"
+  "CMakeFiles/ccvc_engine.dir/got.cpp.o.d"
+  "CMakeFiles/ccvc_engine.dir/mesh_site.cpp.o"
+  "CMakeFiles/ccvc_engine.dir/mesh_site.cpp.o.d"
+  "CMakeFiles/ccvc_engine.dir/message.cpp.o"
+  "CMakeFiles/ccvc_engine.dir/message.cpp.o.d"
+  "CMakeFiles/ccvc_engine.dir/notifier_site.cpp.o"
+  "CMakeFiles/ccvc_engine.dir/notifier_site.cpp.o.d"
+  "CMakeFiles/ccvc_engine.dir/session.cpp.o"
+  "CMakeFiles/ccvc_engine.dir/session.cpp.o.d"
+  "CMakeFiles/ccvc_engine.dir/snapshot.cpp.o"
+  "CMakeFiles/ccvc_engine.dir/snapshot.cpp.o.d"
+  "libccvc_engine.a"
+  "libccvc_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccvc_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cpp" "src/net/CMakeFiles/ccvc_net.dir/channel.cpp.o" "gcc" "src/net/CMakeFiles/ccvc_net.dir/channel.cpp.o.d"
+  "/root/repo/src/net/event_queue.cpp" "src/net/CMakeFiles/ccvc_net.dir/event_queue.cpp.o" "gcc" "src/net/CMakeFiles/ccvc_net.dir/event_queue.cpp.o.d"
+  "/root/repo/src/net/latency.cpp" "src/net/CMakeFiles/ccvc_net.dir/latency.cpp.o" "gcc" "src/net/CMakeFiles/ccvc_net.dir/latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccvc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccvc_net.dir/channel.cpp.o"
+  "CMakeFiles/ccvc_net.dir/channel.cpp.o.d"
+  "CMakeFiles/ccvc_net.dir/event_queue.cpp.o"
+  "CMakeFiles/ccvc_net.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ccvc_net.dir/latency.cpp.o"
+  "CMakeFiles/ccvc_net.dir/latency.cpp.o.d"
+  "libccvc_net.a"
+  "libccvc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccvc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ot/text_op.cpp" "src/ot/CMakeFiles/ccvc_ot.dir/text_op.cpp.o" "gcc" "src/ot/CMakeFiles/ccvc_ot.dir/text_op.cpp.o.d"
+  "/root/repo/src/ot/transform.cpp" "src/ot/CMakeFiles/ccvc_ot.dir/transform.cpp.o" "gcc" "src/ot/CMakeFiles/ccvc_ot.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ccvc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccvc_ot.dir/text_op.cpp.o"
+  "CMakeFiles/ccvc_ot.dir/text_op.cpp.o.d"
+  "CMakeFiles/ccvc_ot.dir/transform.cpp.o"
+  "CMakeFiles/ccvc_ot.dir/transform.cpp.o.d"
+  "libccvc_ot.a"
+  "libccvc_ot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccvc_ot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

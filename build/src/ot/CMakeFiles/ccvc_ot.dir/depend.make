@@ -1,0 +1,2 @@
+# Empty dependencies file for ccvc_ot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccvc_sim.dir/observers.cpp.o"
+  "CMakeFiles/ccvc_sim.dir/observers.cpp.o.d"
+  "CMakeFiles/ccvc_sim.dir/oracle.cpp.o"
+  "CMakeFiles/ccvc_sim.dir/oracle.cpp.o.d"
+  "CMakeFiles/ccvc_sim.dir/runner.cpp.o"
+  "CMakeFiles/ccvc_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/ccvc_sim.dir/scenario.cpp.o"
+  "CMakeFiles/ccvc_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/ccvc_sim.dir/script.cpp.o"
+  "CMakeFiles/ccvc_sim.dir/script.cpp.o.d"
+  "CMakeFiles/ccvc_sim.dir/workload.cpp.o"
+  "CMakeFiles/ccvc_sim.dir/workload.cpp.o.d"
+  "libccvc_sim.a"
+  "libccvc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccvc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccvc_util.dir/rng.cpp.o"
+  "CMakeFiles/ccvc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ccvc_util.dir/stats.cpp.o"
+  "CMakeFiles/ccvc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ccvc_util.dir/table.cpp.o"
+  "CMakeFiles/ccvc_util.dir/table.cpp.o.d"
+  "CMakeFiles/ccvc_util.dir/varint.cpp.o"
+  "CMakeFiles/ccvc_util.dir/varint.cpp.o.d"
+  "libccvc_util.a"
+  "libccvc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccvc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clocks_tests.dir/clocks/compressed_sv_test.cpp.o"
+  "CMakeFiles/clocks_tests.dir/clocks/compressed_sv_test.cpp.o.d"
+  "CMakeFiles/clocks_tests.dir/clocks/dependency_log_test.cpp.o"
+  "CMakeFiles/clocks_tests.dir/clocks/dependency_log_test.cpp.o.d"
+  "CMakeFiles/clocks_tests.dir/clocks/lamport_test.cpp.o"
+  "CMakeFiles/clocks_tests.dir/clocks/lamport_test.cpp.o.d"
+  "CMakeFiles/clocks_tests.dir/clocks/matrix_clock_test.cpp.o"
+  "CMakeFiles/clocks_tests.dir/clocks/matrix_clock_test.cpp.o.d"
+  "CMakeFiles/clocks_tests.dir/clocks/sk_clock_test.cpp.o"
+  "CMakeFiles/clocks_tests.dir/clocks/sk_clock_test.cpp.o.d"
+  "CMakeFiles/clocks_tests.dir/clocks/version_vector_test.cpp.o"
+  "CMakeFiles/clocks_tests.dir/clocks/version_vector_test.cpp.o.d"
+  "clocks_tests"
+  "clocks_tests.pdb"
+  "clocks_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clocks_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

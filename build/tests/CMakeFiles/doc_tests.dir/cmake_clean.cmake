@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doc_tests.dir/doc/document_test.cpp.o"
+  "CMakeFiles/doc_tests.dir/doc/document_test.cpp.o.d"
+  "CMakeFiles/doc_tests.dir/doc/gap_buffer_test.cpp.o"
+  "CMakeFiles/doc_tests.dir/doc/gap_buffer_test.cpp.o.d"
+  "doc_tests"
+  "doc_tests.pdb"
+  "doc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

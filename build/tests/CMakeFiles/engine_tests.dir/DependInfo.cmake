@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/gc_test.cpp" "tests/CMakeFiles/engine_tests.dir/engine/gc_test.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/gc_test.cpp.o.d"
+  "/root/repo/tests/engine/got_test.cpp" "tests/CMakeFiles/engine_tests.dir/engine/got_test.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/got_test.cpp.o.d"
+  "/root/repo/tests/engine/membership_test.cpp" "tests/CMakeFiles/engine_tests.dir/engine/membership_test.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/membership_test.cpp.o.d"
+  "/root/repo/tests/engine/mesh_test.cpp" "tests/CMakeFiles/engine_tests.dir/engine/mesh_test.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/mesh_test.cpp.o.d"
+  "/root/repo/tests/engine/message_test.cpp" "tests/CMakeFiles/engine_tests.dir/engine/message_test.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/message_test.cpp.o.d"
+  "/root/repo/tests/engine/replace_test.cpp" "tests/CMakeFiles/engine_tests.dir/engine/replace_test.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/replace_test.cpp.o.d"
+  "/root/repo/tests/engine/scenario_fig2_test.cpp" "tests/CMakeFiles/engine_tests.dir/engine/scenario_fig2_test.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/scenario_fig2_test.cpp.o.d"
+  "/root/repo/tests/engine/scenario_fig3_test.cpp" "tests/CMakeFiles/engine_tests.dir/engine/scenario_fig3_test.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/scenario_fig3_test.cpp.o.d"
+  "/root/repo/tests/engine/snapshot_test.cpp" "tests/CMakeFiles/engine_tests.dir/engine/snapshot_test.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/snapshot_test.cpp.o.d"
+  "/root/repo/tests/engine/star_engine_test.cpp" "tests/CMakeFiles/engine_tests.dir/engine/star_engine_test.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/star_engine_test.cpp.o.d"
+  "/root/repo/tests/engine/undo_test.cpp" "tests/CMakeFiles/engine_tests.dir/engine/undo_test.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/undo_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ccvc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ccvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/doc/CMakeFiles/ccvc_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ot/CMakeFiles/ccvc_ot.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocks/CMakeFiles/ccvc_clocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccvc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_tests.dir/engine/gc_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/gc_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/got_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/got_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/membership_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/membership_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/mesh_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/mesh_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/message_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/message_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/replace_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/replace_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/scenario_fig2_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/scenario_fig2_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/scenario_fig3_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/scenario_fig3_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/snapshot_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/snapshot_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/star_engine_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/star_engine_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/undo_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/undo_test.cpp.o.d"
+  "engine_tests"
+  "engine_tests.pdb"
+  "engine_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/ablation_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/ablation_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/codec_fuzz_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/codec_fuzz_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/convergence_property_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/convergence_property_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/determinism_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/determinism_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/fifo_requirement_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/fifo_requirement_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/fullvector_mode_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/fullvector_mode_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/intention_oracle_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/intention_oracle_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/membership_churn_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/membership_churn_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/scripts_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/scripts_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/verdict_equivalence_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/verdict_equivalence_test.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

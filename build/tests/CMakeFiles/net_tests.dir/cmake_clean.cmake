@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_tests.dir/net/channel_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/channel_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/event_queue_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/event_queue_test.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/latency_test.cpp.o"
+  "CMakeFiles/net_tests.dir/net/latency_test.cpp.o.d"
+  "net_tests"
+  "net_tests.pdb"
+  "net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

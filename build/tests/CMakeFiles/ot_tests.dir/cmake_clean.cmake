@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ot_tests.dir/ot/coalesce_test.cpp.o"
+  "CMakeFiles/ot_tests.dir/ot/coalesce_test.cpp.o.d"
+  "CMakeFiles/ot_tests.dir/ot/exclude_test.cpp.o"
+  "CMakeFiles/ot_tests.dir/ot/exclude_test.cpp.o.d"
+  "CMakeFiles/ot_tests.dir/ot/text_op_test.cpp.o"
+  "CMakeFiles/ot_tests.dir/ot/text_op_test.cpp.o.d"
+  "CMakeFiles/ot_tests.dir/ot/tp2_test.cpp.o"
+  "CMakeFiles/ot_tests.dir/ot/tp2_test.cpp.o.d"
+  "CMakeFiles/ot_tests.dir/ot/transform_property_test.cpp.o"
+  "CMakeFiles/ot_tests.dir/ot/transform_property_test.cpp.o.d"
+  "CMakeFiles/ot_tests.dir/ot/transform_test.cpp.o"
+  "CMakeFiles/ot_tests.dir/ot/transform_test.cpp.o.d"
+  "ot_tests"
+  "ot_tests.pdb"
+  "ot_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ot_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
