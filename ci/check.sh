@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Full verification pipeline — everything a PR must survive, in order:
+#
+#   1. -Werror configure + build (RelWithDebInfo preset)
+#   2. full test suite under ASan+UBSan (Debug, CCVC_DCHECK live)
+#   3. clang-tidy over src/            (skipped if the tool is absent)
+#   4. cppcheck over src/              (skipped if the tool is absent)
+#   5. tools/ccvc_lint.py protocol lint
+#   6. fuzzer smoke runs (seed corpus + 20k mutations, sanitized build)
+#
+# Any finding exits non-zero.  Optional tools that are not installed are
+# reported as SKIPPED, not failed, so the pipeline works on GCC-only
+# images; install clang-tidy/cppcheck to widen coverage.
+#
+# Usage: ci/check.sh [-jN]
+
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:--j$(nproc)}"
+FAILURES=0
+
+step() {
+  printf '\n=== %s ===\n' "$1"
+}
+
+fail() {
+  printf 'FAILED: %s\n' "$1"
+  FAILURES=$((FAILURES + 1))
+}
+
+step "1/6 configure + build, -Werror (relwithdebinfo)"
+cmake --preset relwithdebinfo >/dev/null &&
+  cmake --build --preset relwithdebinfo "$JOBS" ||
+  fail "-Werror build"
+
+step "2/6 full suite under ASan+UBSan (Debug; DCHECK contracts live)"
+cmake --preset asan-ubsan >/dev/null &&
+  cmake --build --preset asan-ubsan "$JOBS" &&
+  ctest --preset asan-ubsan "$JOBS" -LE fuzz_smoke ||
+  fail "asan-ubsan test suite"
+
+step "3/6 clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake --build build-relwithdebinfo --target tidy || fail "clang-tidy"
+else
+  echo "SKIPPED: clang-tidy not installed"
+fi
+
+step "4/6 cppcheck"
+if command -v cppcheck >/dev/null 2>&1; then
+  cmake --build build-relwithdebinfo --target cppcheck || fail "cppcheck"
+else
+  echo "SKIPPED: cppcheck not installed"
+fi
+
+step "5/6 protocol lint (tools/ccvc_lint.py)"
+python3 tools/ccvc_lint.py --root "$PWD" --compiler "${CXX:-c++}" ||
+  fail "ccvc_lint"
+
+step "6/6 fuzz smoke (sanitized, seed corpus + 20k runs each)"
+ctest --preset asan-ubsan -L fuzz_smoke || fail "fuzz smoke"
+
+printf '\n'
+if [ "$FAILURES" -ne 0 ]; then
+  printf '%d step(s) FAILED\n' "$FAILURES"
+  exit 1
+fi
+echo "all checks passed"

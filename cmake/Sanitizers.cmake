@@ -1,0 +1,42 @@
+# Sanitizer build matrix.
+#
+# CCVC_SANITIZE is a semicolon-separated list of sanitizers to compile
+# and link the whole tree with (e.g. -DCCVC_SANITIZE=address;undefined).
+# The flags ride on the `ccvc_sanitize` interface target, which every
+# library and binary links PRIVATE next to `ccvc_warnings`, so one cache
+# variable re-instruments src/, tests/, bench/, examples/ and fuzz/ at
+# once.  CMakePresets.json exposes the canonical combinations
+# (asan-ubsan, tsan); `memory` is accepted for clang toolchains but
+# rejected up front on GCC, which does not implement MSan.
+
+set(CCVC_SANITIZE "" CACHE STRING
+    "Semicolon list of sanitizers: address;undefined | thread | memory | leak")
+
+add_library(ccvc_sanitize INTERFACE)
+
+if(CCVC_SANITIZE)
+  set(_ccvc_known_sanitizers address undefined thread memory leak)
+  foreach(_san IN LISTS CCVC_SANITIZE)
+    if(NOT _san IN_LIST _ccvc_known_sanitizers)
+      message(FATAL_ERROR "CCVC_SANITIZE: unknown sanitizer '${_san}' "
+                          "(expected one of: ${_ccvc_known_sanitizers})")
+    endif()
+  endforeach()
+  if("thread" IN_LIST CCVC_SANITIZE AND "address" IN_LIST CCVC_SANITIZE)
+    message(FATAL_ERROR "CCVC_SANITIZE: 'thread' and 'address' are mutually "
+                        "exclusive — configure two build dirs instead")
+  endif()
+  if("memory" IN_LIST CCVC_SANITIZE AND NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(FATAL_ERROR "CCVC_SANITIZE: 'memory' (MSan) requires clang; "
+                        "this toolchain is ${CMAKE_CXX_COMPILER_ID}")
+  endif()
+
+  string(REPLACE ";" "," _ccvc_sanitize_csv "${CCVC_SANITIZE}")
+  target_compile_options(ccvc_sanitize INTERFACE
+    -fsanitize=${_ccvc_sanitize_csv}
+    -fno-omit-frame-pointer
+    -fno-sanitize-recover=all)
+  target_link_options(ccvc_sanitize INTERFACE
+    -fsanitize=${_ccvc_sanitize_csv})
+  message(STATUS "CCVC: building with -fsanitize=${_ccvc_sanitize_csv}")
+endif()

@@ -1,0 +1,20 @@
+// Shared helpers for the fuzz harnesses.
+//
+// Harnesses must distinguish "decoder rejected malformed input" (fine,
+// that is the contract) from "decoder broke an invariant" (a bug).  The
+// former is a DecodeError/ContractViolation caught by CCVC_FUZZ_EXPECTS
+// call sites; the latter trips CCVC_FUZZ_REQUIRE, which traps so both
+// libFuzzer and the standalone driver report a crash with a stack.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+
+#define CCVC_FUZZ_REQUIRE(cond)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "fuzz invariant failed: %s at %s:%d\n", #cond, \
+                   __FILE__, __LINE__);                                  \
+      __builtin_trap();                                                  \
+    }                                                                    \
+  } while (false)

@@ -23,7 +23,7 @@ SkTimestamp decode_sk(util::ByteSource& src) {
   ts.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {
     SkEntry e;
-    e.site = static_cast<SiteId>(src.get_uvarint());
+    e.site = src.get_uvarint32();
     e.value = src.get_uvarint();
     ts.push_back(e);
   }

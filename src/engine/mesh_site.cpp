@@ -42,7 +42,7 @@ MeshMsg decode_mesh_msg(const net::Payload& bytes, MeshStamp mode) {
   util::ByteSource src(bytes);
   CCVC_CHECK_MSG(src.get_u8() == kTagMesh, "not a mesh message");
   MeshMsg msg;
-  msg.id.site = static_cast<SiteId>(src.get_uvarint());
+  msg.id.site = src.get_uvarint32();
   msg.id.seq = src.get_uvarint();
   switch (mode) {
     case MeshStamp::kFullVector:

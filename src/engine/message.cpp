@@ -42,9 +42,25 @@ void encode_id(const OpId& id, util::ByteSink& sink) {
 
 OpId decode_id(util::ByteSource& src) {
   OpId id;
-  id.site = static_cast<SiteId>(src.get_uvarint());
+  id.site = src.get_uvarint32();
   id.seq = src.get_uvarint();
   return id;
+}
+
+// Decoded messages are immediately decomposed into 1-char delete
+// primitives, so a hostile Delete[n, p] count is an allocation
+// amplifier: a 3-byte wire op can claim a multi-exabyte expansion.
+// Cap the total expansion at the wire boundary; 1 Mi primitives per
+// message is far beyond any real editing burst.
+constexpr std::uint64_t kMaxDecodedPrimitives = 1u << 20;
+
+void check_decompose_budget(const ot::OpList& ops) {
+  std::uint64_t total = 0;
+  for (const auto& op : ops) {
+    total += (op.kind == ot::OpKind::kDelete && op.count > 1) ? op.count : 1;
+    if (total > kMaxDecodedPrimitives)
+      throw util::DecodeError("op list expands past the decode budget");
+  }
 }
 
 }  // namespace
@@ -85,7 +101,9 @@ ClientMsg decode_client_msg(const net::Payload& bytes, StampMode mode) {
   msg.id = decode_id(src);
   msg.stamp = decode_stamp(src, mode);
   // Back to 1-char delete primitives for transformation.
-  msg.ops = ot::decompose(ot::decode_op_list(src));
+  ot::OpList wire_ops = ot::decode_op_list(src);
+  check_decompose_budget(wire_ops);
+  msg.ops = ot::decompose(wire_ops);
   CCVC_CHECK_MSG(src.exhausted(), "trailing bytes in client message");
   return msg;
 }
@@ -96,7 +114,9 @@ CenterMsg decode_center_msg(const net::Payload& bytes, StampMode mode) {
   CenterMsg msg;
   msg.id = decode_id(src);
   msg.stamp = decode_stamp(src, mode);
-  msg.ops = ot::decompose(ot::decode_op_list(src));
+  ot::OpList wire_ops = ot::decode_op_list(src);
+  check_decompose_budget(wire_ops);
+  msg.ops = ot::decompose(wire_ops);
   CCVC_CHECK_MSG(src.exhausted(), "trailing bytes in center message");
   return msg;
 }
@@ -115,7 +135,7 @@ bool is_leave_msg(const net::Payload& bytes) {
 SiteId decode_leave(const net::Payload& bytes) {
   util::ByteSource src(bytes);
   CCVC_CHECK_MSG(src.get_u8() == kTagLeave, "not a leave message");
-  const auto site = static_cast<SiteId>(src.get_uvarint());
+  const SiteId site = src.get_uvarint32();
   CCVC_CHECK_MSG(src.exhausted(), "trailing bytes in leave message");
   return site;
 }

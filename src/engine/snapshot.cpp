@@ -28,7 +28,7 @@ ot::PrimOp get_prim(util::ByteSource& src) {
   op.kind = static_cast<ot::OpKind>(kind);
   op.pos = static_cast<std::size_t>(src.get_uvarint());
   op.count = static_cast<std::size_t>(src.get_uvarint());
-  op.origin = static_cast<SiteId>(src.get_uvarint());
+  op.origin = src.get_uvarint32();
   op.text = src.get_string();
   return op;
 }
@@ -56,7 +56,7 @@ void put_id(util::ByteSink& sink, const OpId& id) {
 
 OpId get_id(util::ByteSource& src) {
   OpId id;
-  id.site = static_cast<SiteId>(src.get_uvarint());
+  id.site = src.get_uvarint32();
   id.seq = src.get_uvarint();
   return id;
 }
@@ -98,7 +98,7 @@ ClientSite::State load_client_checkpoint(const net::Payload& bytes) {
   util::ByteSource src(bytes);
   CCVC_CHECK_MSG(src.get_u8() == kTagClientCkpt, "not a client checkpoint");
   ClientSite::State s;
-  s.id = static_cast<SiteId>(src.get_uvarint());
+  s.id = src.get_uvarint32();
   s.num_sites = static_cast<std::size_t>(src.get_uvarint());
   s.document = src.get_string();
   s.sv = clocks::CompressedSv::decode(src);
@@ -178,7 +178,7 @@ NotifierSite::State load_notifier_checkpoint(const net::Payload& bytes) {
   for (std::uint64_t i = 0; i < hb_n; ++i) {
     NotifierHbEntry e;
     e.id = get_id(src);
-    e.origin = static_cast<SiteId>(src.get_uvarint());
+    e.origin = src.get_uvarint32();
     e.stamp = clocks::VersionVector::decode(src);
     e.stamp_sum = e.stamp.sum();
     e.executed = get_ops(src);

@@ -56,7 +56,7 @@ PrimOp PrimOp::decode(util::ByteSource& src) {
   CCVC_CHECK_MSG(kind_byte <= static_cast<std::uint8_t>(OpKind::kIdentity),
                  "bad op kind on the wire");
   op.kind = static_cast<OpKind>(kind_byte);
-  op.origin = static_cast<SiteId>(src.get_uvarint());
+  op.origin = src.get_uvarint32();
   switch (op.kind) {
     case OpKind::kInsert:
       op.pos = static_cast<std::size_t>(src.get_uvarint());

@@ -55,7 +55,10 @@ PrimOp include_prim(const PrimOp& op, const PrimOp& against) {
   if (op.kind == OpKind::kInsert && against.kind == OpKind::kDelete) {
     // ID: deleting a character strictly left of the insertion point pulls
     // it one to the left; at or right of it, no effect.
-    if (against.pos < op.pos) out.pos -= blen;
+    if (against.pos < op.pos) {
+      CCVC_DCHECK(op.pos >= blen);  // against.pos < op.pos ⇒ no underflow
+      out.pos -= blen;
+    }
     return out;
   }
 
@@ -69,6 +72,7 @@ PrimOp include_prim(const PrimOp& op, const PrimOp& against) {
   // DD: both delete one character.
   CCVC_CHECK(op.kind == OpKind::kDelete && against.kind == OpKind::kDelete);
   if (against.pos < op.pos) {
+    CCVC_DCHECK(out.pos >= 1);
     out.pos -= 1;
   } else if (against.pos == op.pos) {
     // The same character was deleted concurrently — this op has nothing
@@ -93,6 +97,11 @@ std::pair<OpList, OpList> transform(const OpList& a, const OpList& b) {
       const PrimOp pa_next = include_prim(pa, pb);
       pb = include_prim(pb, pa);
       pa = pa_next;
+      // Hot-path contract (live in Debug/sanitizer presets only): the
+      // grid walk must preserve decomposition, or the next include_prim
+      // silently computes with a multi-char delete.
+      CCVC_DCHECK(pa.kind != OpKind::kDelete || pa.count == 1);
+      CCVC_DCHECK(pb.kind != OpKind::kDelete || pb.count == 1);
     }
     a_out.push_back(std::move(pa));
   }

@@ -48,11 +48,22 @@ std::uint64_t ByteSource::get_uvarint() {
   for (;;) {
     if (shift >= 64) throw DecodeError("uvarint too long");
     const std::uint8_t b = get_u8();
+    // The 10th byte reaches shift 63: only its low bit fits in 64 bits.
+    // Anything above must be rejected, not silently truncated, or two
+    // distinct wire encodings would decode to the same counter value.
+    if (shift == 63 && (b & 0x7e) != 0)
+      throw DecodeError("uvarint overflows 64 bits");
     result |= static_cast<std::uint64_t>(b & 0x7f) << shift;
     if ((b & 0x80) == 0) break;
     shift += 7;
   }
   return result;
+}
+
+std::uint32_t ByteSource::get_uvarint32() {
+  const std::uint64_t v = get_uvarint();
+  if (v > 0xffffffffull) throw DecodeError("uvarint exceeds 32 bits");
+  return static_cast<std::uint32_t>(v);
 }
 
 std::int64_t ByteSource::get_svarint() { return zigzag_decode(get_uvarint()); }

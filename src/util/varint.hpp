@@ -58,6 +58,13 @@ class ByteSource {
 
   std::uint8_t get_u8();
   std::uint64_t get_uvarint();
+
+  /// Varint constrained to 32 bits — for wire fields that decode into
+  /// 32-bit identifiers (SiteId).  A value above UINT32_MAX is malformed
+  /// input and throws DecodeError; a silent `static_cast` here would
+  /// alias distinct site ids and corrupt causality verdicts.
+  std::uint32_t get_uvarint32();
+
   std::int64_t get_svarint();
   std::string get_string();
 

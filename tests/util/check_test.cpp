@@ -1,0 +1,53 @@
+// Contract-macro semantics.  The load-bearing assertion is the DCHECK
+// one: the asan-ubsan preset builds Debug (no NDEBUG), so running this
+// suite under that preset proves the hot-path contracts in the
+// transform loops are compiled in and enforced there — the default
+// RelWithDebInfo build defines NDEBUG and compiles them away.
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccvc {
+namespace {
+
+TEST(Check, CheckThrowsInEveryBuildType) {
+  EXPECT_THROW(CCVC_CHECK(false), ContractViolation);
+  EXPECT_NO_THROW(CCVC_CHECK(true));
+}
+
+TEST(Check, CheckMsgCarriesTheMessage) {
+  try {
+    CCVC_CHECK_MSG(false, "the reason");
+    FAIL() << "CCVC_CHECK_MSG(false, ...) did not throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("the reason"), std::string::npos);
+  }
+}
+
+TEST(Check, DcheckMatchesBuildType) {
+#ifdef NDEBUG
+  // Release: DCHECK must compile away entirely.
+  EXPECT_NO_THROW(CCVC_DCHECK(false));
+#else
+  // Debug (and the asan-ubsan preset): DCHECK is a full CHECK.
+  EXPECT_THROW(CCVC_DCHECK(false), ContractViolation);
+#endif
+}
+
+TEST(Check, DcheckDoesNotEvaluateInRelease) {
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  (void)touch;  // NDEBUG expansion references nothing
+  CCVC_DCHECK(touch());
+#ifdef NDEBUG
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_EQ(evaluations, 1);
+#endif
+}
+
+}  // namespace
+}  // namespace ccvc

@@ -93,6 +93,44 @@ TEST(Varint, EmptySourceThrows) {
   EXPECT_THROW(src.get_u8(), DecodeError);
 }
 
+TEST(Varint, TenthByteOverflowBitsThrow) {
+  // Nine continuation bytes put the tenth at shift 63, where only one
+  // bit of payload fits.  A tenth byte with higher bits set used to be
+  // silently truncated — two distinct wire encodings decoded to the
+  // same value.  It must be rejected instead.
+  ByteSink sink;
+  for (int i = 0; i < 9; ++i) sink.put_u8(0xFF);
+  sink.put_u8(0x7F);  // bits 1..6 would shift past bit 63
+  ByteSource src(sink.bytes());
+  EXPECT_THROW(src.get_uvarint(), DecodeError);
+}
+
+TEST(Varint, TenthByteCanonicalMaxDecodes) {
+  // The canonical 10-byte encoding of UINT64_MAX (tenth byte 0x01)
+  // stays valid.
+  ByteSink sink;
+  for (int i = 0; i < 9; ++i) sink.put_u8(0xFF);
+  sink.put_u8(0x01);
+  ByteSource src(sink.bytes());
+  EXPECT_EQ(src.get_uvarint(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_TRUE(src.exhausted());
+}
+
+TEST(Varint, Uvarint32RangeChecked) {
+  // Regression for the silent uint64 -> uint32 narrowing that used to
+  // hide behind static_cast at the SiteId decode sites: exactly
+  // UINT32_MAX decodes, one past it throws instead of wrapping to 0.
+  ByteSink ok;
+  ok.put_uvarint(0xffffffffull);
+  ByteSource ok_src(ok.bytes());
+  EXPECT_EQ(ok_src.get_uvarint32(), 0xffffffffu);
+
+  ByteSink over;
+  over.put_uvarint(0x100000000ull);
+  ByteSource over_src(over.bytes());
+  EXPECT_THROW(over_src.get_uvarint32(), DecodeError);
+}
+
 TEST(Varint, MixedSequence) {
   ByteSink sink;
   sink.put_u8(0xAB);

@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""ccvc_lint — repo-specific protocol linter for the CCVC code base.
+
+Enforces invariants generic tools cannot express:
+
+  bare-assert        src/ uses CCVC_CHECK / CCVC_DCHECK, never bare
+                     assert().  A disabled assert silently drops a
+                     protocol contract; CCVC_CHECK throws
+                     ContractViolation in every build type.
+                     (static_assert is fine — it cannot be disabled.)
+
+  iostream-library   Library code under src/ must not print.  Output
+                     belongs to observers (src/sim/observers.*) and the
+                     table renderer; everything else returns strings.
+
+  paper-index        The paper's vectors are 1-based and CompressedSv
+                     exposes exactly at(1)/at(2).  A literal at(0) (or
+                     any other literal index) on a stamp-like receiver
+                     is a transliteration bug that CCVC_CHECK would only
+                     catch at run time on a path a test happens to hit.
+
+  self-include-first Each src/ .cpp includes its own header first, so
+                     every header is compiled in the least-forgiving
+                     include order at least once.
+
+  include-hygiene    Every header under src/ compiles stand-alone
+                     (include-what-you-use style self-sufficiency),
+                     verified by a -fsyntax-only compile of a one-line
+                     TU per header.
+
+A finding can be suppressed for one line with a trailing comment:
+    do_thing();  // ccvc-lint: allow(<rule>) <justification>
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+RULES = (
+    "bare-assert",
+    "iostream-library",
+    "paper-index",
+    "self-include-first",
+    "include-hygiene",
+)
+
+# Files allowed to print: the observer/presentation layer.
+PRINT_WHITELIST = {
+    "src/sim/observers.cpp",
+    "src/sim/observers.hpp",
+    "src/util/table.cpp",
+    "src/util/table.hpp",
+}
+
+BARE_ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
+IOSTREAM_RE = re.compile(
+    r"std::(cout|cerr|clog)\b|(?<![A-Za-z0-9_:])f?printf\s*\("
+)
+# A stamp-like receiver calling .at(<literal>) with anything but 1 or 2.
+PAPER_INDEX_RE = re.compile(
+    r"(?:\bt_o[ab]\w*|\bcsv\w*|\bstamp\w*|\bsv\d*|\bt\b)\s*(?:\.|->)\s*"
+    r"at\s*\(\s*(\d+)\s*\)"
+)
+ALLOW_RE = re.compile(r"ccvc-lint:\s*allow\(([a-z\-]+)\)")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line
+    structure so reported line numbers stay accurate."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                # Keep line comments containing lint pragmas visible.
+                end = text.find("\n", i)
+                end = n if end == -1 else end
+                segment = text[i:end]
+                out.append(segment if "ccvc-lint:" in segment else " " * len(segment))
+                i = end
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root: pathlib.Path, compiler: str, compile_headers: bool):
+        self.root = root
+        self.compiler = compiler
+        self.compile_headers = compile_headers
+        self.findings: list[str] = []
+
+    def report(self, path: pathlib.Path, line: int, rule: str, msg: str) -> None:
+        rel = path.relative_to(self.root)
+        self.findings.append(f"{rel}:{line}: [{rule}] {msg}")
+
+    def lint_lines(self, path: pathlib.Path) -> None:
+        raw = path.read_text(encoding="utf-8")
+        clean = strip_comments_and_strings(raw)
+        rel = str(path.relative_to(self.root))
+        for lineno, line in enumerate(clean.splitlines(), start=1):
+            allowed = {m.group(1) for m in ALLOW_RE.finditer(line)}
+
+            if BARE_ASSERT_RE.search(line) and "static_assert" not in line:
+                if "bare-assert" not in allowed:
+                    self.report(path, lineno, "bare-assert",
+                                "use CCVC_CHECK/CCVC_DCHECK, not assert()")
+
+            if rel not in PRINT_WHITELIST and IOSTREAM_RE.search(line):
+                if "iostream-library" not in allowed:
+                    self.report(path, lineno, "iostream-library",
+                                "library code must not print; route output "
+                                "through an observer")
+
+            for m in PAPER_INDEX_RE.finditer(line):
+                if int(m.group(1)) not in (1, 2):
+                    if "paper-index" not in allowed:
+                        self.report(path, lineno, "paper-index",
+                                    f"stamp index at({m.group(1)}) — the "
+                                    "paper's vectors are 1-based: at(1)/at(2)")
+
+    def lint_self_include(self, path: pathlib.Path) -> None:
+        header = path.with_suffix(".hpp")
+        if not header.exists():
+            return  # a .cpp without a twin header (e.g. a main) is exempt
+        expected = str(header.relative_to(self.root / "src"))
+        for lineno, line in enumerate(path.read_text(encoding="utf-8")
+                                      .splitlines(), start=1):
+            m = re.match(r'\s*#\s*include\s+"([^"]+)"', line)
+            if m:
+                if m.group(1) != expected:
+                    self.report(path, lineno, "self-include-first",
+                                f'first include must be "{expected}" '
+                                f'(found "{m.group(1)}")')
+                return
+
+    def lint_header_standalone(self, headers: list[pathlib.Path]) -> None:
+        with tempfile.TemporaryDirectory(prefix="ccvc_lint_") as td:
+            tu = pathlib.Path(td) / "standalone_check.cpp"
+            for header in headers:
+                rel = header.relative_to(self.root / "src")
+                tu.write_text(f'#include "{rel}"\n'
+                              "int ccvc_lint_anchor() { return 0; }\n")
+                proc = subprocess.run(
+                    [self.compiler, "-std=c++20", "-fsyntax-only",
+                     "-Wall", "-Wextra",
+                     "-I", str(self.root / "src"), str(tu)],
+                    capture_output=True, text=True)
+                if proc.returncode != 0:
+                    first_error = next(
+                        (ln for ln in proc.stderr.splitlines() if "error" in ln),
+                        proc.stderr.strip().splitlines()[-1]
+                        if proc.stderr.strip() else "compile failed")
+                    self.report(header, 1, "include-hygiene",
+                                f"header does not compile stand-alone: "
+                                f"{first_error}")
+
+    def run(self) -> int:
+        src = self.root / "src"
+        cpps = sorted(src.rglob("*.cpp"))
+        hpps = sorted(src.rglob("*.hpp"))
+        for path in cpps + hpps:
+            self.lint_lines(path)
+        for path in cpps:
+            self.lint_self_include(path)
+        if self.compile_headers:
+            self.lint_header_standalone(hpps)
+
+        if self.findings:
+            for f in self.findings:
+                print(f)
+            print(f"ccvc_lint: {len(self.findings)} finding(s) in "
+                  f"{len(cpps) + len(hpps)} files")
+            return 1
+        print(f"ccvc_lint: OK ({len(cpps) + len(hpps)} files, "
+              f"{len(hpps)} headers compiled stand-alone)"
+              if self.compile_headers else
+              f"ccvc_lint: OK ({len(cpps) + len(hpps)} files)")
+        return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parent.parent)
+    ap.add_argument("--compiler", default="c++",
+                    help="C++ compiler for the include-hygiene check")
+    ap.add_argument("--no-compile", action="store_true",
+                    help="skip the (slower) stand-alone header compiles")
+    args = ap.parse_args()
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"ccvc_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+    return Linter(root, args.compiler, not args.no_compile).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Regenerate the committed fuzz seed corpus (fuzz/corpus/).
+
+The seeds are hand-built canonical wire encodings — one per message
+shape — so the fuzzers start from inputs that reach deep decode paths
+instead of bouncing off the tag byte.  Deterministic: running this
+script twice produces identical files.  Run from anywhere:
+
+    python3 tools/make_corpus.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+
+def uvarint(v: int) -> bytes:
+    out = bytearray()
+    while v >= 0x80:
+        out.append((v & 0x7F) | 0x80)
+        v >>= 7
+    out.append(v)
+    return bytes(out)
+
+
+def svarint(v: int) -> bytes:
+    return uvarint(((v << 1) ^ (v >> 63)) & ((1 << 64) - 1))
+
+
+def string(s: bytes) -> bytes:
+    return uvarint(len(s)) + s
+
+
+def prim_insert(origin: int, pos: int, text: bytes) -> bytes:
+    return bytes([0]) + uvarint(origin) + uvarint(pos) + string(text)
+
+
+def prim_delete(origin: int, pos: int, count: int) -> bytes:
+    return bytes([1]) + uvarint(origin) + uvarint(pos) + uvarint(count)
+
+
+def prim_identity(origin: int) -> bytes:
+    return bytes([2]) + uvarint(origin)
+
+
+def op_list(*prims: bytes) -> bytes:
+    return uvarint(len(prims)) + b"".join(prims)
+
+
+def csv_stamp(from_center: int, from_site: int) -> bytes:
+    return uvarint(from_center) + uvarint(from_site)
+
+
+def vv_stamp(values: list[int]) -> bytes:
+    return uvarint(len(values)) + b"".join(uvarint(v) for v in values)
+
+
+def client_msg(site: int, seq: int, stamp: bytes, ops: bytes) -> bytes:
+    return bytes([0xC1]) + uvarint(site) + uvarint(seq) + stamp + ops
+
+
+def center_msg(site: int, seq: int, stamp: bytes, ops: bytes) -> bytes:
+    return bytes([0xC2]) + uvarint(site) + uvarint(seq) + stamp + ops
+
+
+def leave_msg(site: int) -> bytes:
+    return bytes([0xC4]) + uvarint(site)
+
+
+SEEDS = {
+    "varint": {
+        "zero": uvarint(0),
+        "small": uvarint(5),
+        "two_byte": uvarint(300),
+        "u64_max": uvarint((1 << 64) - 1),
+        "zigzag_neg": svarint(-42),
+        "string_abc": string(b"abc"),
+        "string_empty": string(b""),
+        "mixed": uvarint(0) + uvarint(300) + string(b"xy") + uvarint(7),
+    },
+    "compressed_sv": {
+        "origin": csv_stamp(0, 0),
+        "fig3_like": csv_stamp(5, 3),
+        "large": csv_stamp(300, (1 << 32) + 7),
+    },
+    "message": {
+        "client_insert_csv": client_msg(
+            2, 1, csv_stamp(5, 3), op_list(prim_insert(2, 0, b"hi"))
+        ),
+        "client_delete_csv": client_msg(
+            3, 7, csv_stamp(0, 1), op_list(prim_delete(3, 4, 3))
+        ),
+        "client_insert_vv": client_msg(
+            2, 1, vv_stamp([0, 1, 2]), op_list(prim_insert(2, 0, b"hi"))
+        ),
+        "center_mixed_csv": center_msg(
+            1,
+            2,
+            csv_stamp(9, 4),
+            op_list(prim_insert(1, 3, b"a"), prim_delete(1, 0, 1)),
+        ),
+        "center_identity_vv": center_msg(
+            1, 1, vv_stamp([0, 2, 0, 1]), op_list(prim_identity(1))
+        ),
+        "leave": leave_msg(5),
+    },
+}
+
+
+def main() -> None:
+    root = pathlib.Path(__file__).resolve().parent.parent / "fuzz" / "corpus"
+    for target, seeds in SEEDS.items():
+        d = root / target
+        d.mkdir(parents=True, exist_ok=True)
+        for name, payload in seeds.items():
+            (d / name).write_bytes(payload)
+            print(f"{d / name}: {len(payload)} bytes")
+
+
+if __name__ == "__main__":
+    main()
