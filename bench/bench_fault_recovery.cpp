@@ -1,0 +1,124 @@
+// Fault-recovery benchmark, two questions:
+//
+//  1. What does the reliability sublayer cost when the network is
+//     perfect?  The same workload runs with the sublayer off and on;
+//     the framing/ack overhead must stay within ~10% on wall-clock and
+//     per-op cost (zero-fault runs draw identical protocol RNG, so the
+//     comparison is apples-to-apples).
+//
+//  2. What does recovery cost when the network misbehaves?  Chaos runs
+//     at increasing drop rates report the retransmit amplification and
+//     the simulated-time stretch to quiescence (the user-visible
+//     latency of healing).
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "sim/chaos.hpp"
+#include "sim/runner.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ccvc;
+
+double wall_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+sim::StarRunReport run_clean(std::size_t n, bool reliable,
+                             std::uint64_t seed) {
+  engine::StarSessionConfig cfg;
+  cfg.num_sites = n;
+  cfg.initial_doc = "fault recovery benchmark document with some length";
+  cfg.reliability.enabled = reliable;
+  cfg.uplink = net::LatencyModel::lognormal(40.0, 0.5, 10.0);
+  cfg.downlink = net::LatencyModel::lognormal(40.0, 0.5, 10.0);
+  cfg.seed = seed;
+
+  sim::WorkloadConfig w;
+  w.ops_per_site = 120;
+  w.mean_think_ms = 15.0;
+  w.hotspot_prob = 0.4;
+  w.seed = seed + 1;
+  return sim::run_star(cfg, w);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== fault recovery: zero-fault overhead of the sublayer ==\n");
+  {
+    util::TextTable t({"N sites", "mode", "ops", "wall ms", "us/op",
+                       "overhead", "converged"});
+    for (const std::size_t n : {4u, 8u}) {
+      double base_us = 0.0;
+      for (const bool reliable : {false, true}) {
+        sim::StarRunReport r;
+        double total_ms = 0.0;
+        std::uint64_t total_ops = 0;
+        for (const std::uint64_t seed : {1u, 2u, 3u}) {
+          total_ms += wall_ms([&] { r = run_clean(n, reliable, seed); });
+          total_ops += r.ops_generated;
+        }
+        const double us_per_op = 1000.0 * total_ms /
+                                 static_cast<double>(total_ops);
+        if (!reliable) base_us = us_per_op;
+        const double overhead =
+            base_us == 0.0 ? 0.0 : 100.0 * (us_per_op - base_us) / base_us;
+        t.add_row({std::to_string(n), reliable ? "reliable" : "raw",
+                   std::to_string(total_ops),
+                   util::TextTable::num(total_ms, 1),
+                   util::TextTable::num(us_per_op, 2),
+                   reliable ? util::TextTable::num(overhead, 1) + "%" : "-",
+                   r.converged ? "yes" : "NO"});
+      }
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\nshape check: the 'reliable' rows stay within ~10% of the"
+              "\n'raw' rows — framing + acks are cheap when nothing fails.\n");
+  }
+
+  std::puts("== fault recovery: healing cost vs drop rate ==\n");
+  {
+    util::TextTable t({"drop", "sim ms", "stretch", "data frames",
+                       "retransmits", "amplification", "converged",
+                       "oracle-clean"});
+    double base_sim = 0.0;
+    for (const double drop : {0.0, 0.05, 0.10, 0.20}) {
+      sim::ChaosConfig cfg;
+      cfg.num_sites = 5;
+      cfg.seed = 99;
+      cfg.workload.ops_per_site = 60;
+      cfg.workload.mean_think_ms = 15.0;
+      cfg.uplink_faults.drop_prob = drop;
+      cfg.downlink_faults.drop_prob = drop;
+      const sim::ChaosReport r = sim::run_chaos(cfg);
+      if (drop == 0.0) base_sim = r.sim_duration_ms;
+      const double stretch =
+          base_sim == 0.0 ? 0.0 : r.sim_duration_ms / base_sim;
+      const double amp =
+          r.links.data_sent == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(r.links.retransmits) /
+                    static_cast<double>(r.links.data_sent);
+      t.add_row({util::TextTable::num(100.0 * drop, 0) + "%",
+                 util::TextTable::num(r.sim_duration_ms, 0),
+                 util::TextTable::num(stretch, 2) + "x",
+                 std::to_string(r.links.data_sent),
+                 std::to_string(r.links.retransmits),
+                 util::TextTable::num(amp, 1) + "%",
+                 r.converged ? "yes" : "NO",
+                 r.verdict_mismatches == 0 ? "yes" : "NO"});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\nshape check: every row converges with an oracle-clean"
+              "\nverdict stream; retransmit amplification and time-to-"
+              "\nquiescence grow with the drop rate — that growth is the"
+              "\nentire price of correctness under loss.");
+  }
+  return 0;
+}

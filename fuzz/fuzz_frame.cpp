@@ -1,0 +1,36 @@
+// Fuzz target: the reliability sublayer's frame codec — the outermost
+// parser on a faulty channel, which sees corrupted bytes by design.
+//
+// Malformed input must be rejected by DecodeError (never UB, never a
+// crash); accepted input must survive a decode→encode round trip with
+// every field intact, and the re-encoding must be a byte-identical
+// fixed point (encode always emits minimal varints, even if the decoder
+// tolerated a padded one under a luckily-valid CRC).
+#include <cstdint>
+#include <vector>
+
+#include "engine/reliable_link.hpp"
+#include "fuzz_common.hpp"
+#include "util/varint.hpp"
+
+using ccvc::engine::Frame;
+using ccvc::util::DecodeError;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const ccvc::net::Payload bytes(data, data + size);
+  Frame frame;
+  try {
+    frame = ccvc::engine::decode_frame(bytes);
+  } catch (const DecodeError&) {
+    return 0;
+  }
+  const ccvc::net::Payload pass1 = ccvc::engine::encode_frame(frame);
+  const Frame again = ccvc::engine::decode_frame(pass1);
+  CCVC_FUZZ_REQUIRE(again.kind == frame.kind);
+  CCVC_FUZZ_REQUIRE(again.seq == frame.seq);
+  CCVC_FUZZ_REQUIRE(again.ack == frame.ack);
+  CCVC_FUZZ_REQUIRE(again.payload == frame.payload);
+  CCVC_FUZZ_REQUIRE(ccvc::engine::encode_frame(again) == pass1);
+  return 0;
+}

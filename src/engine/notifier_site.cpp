@@ -84,6 +84,23 @@ NotifierSite::JoinTicket NotifierSite::add_site() {
   return JoinTicket{id, doc_.text(), clock_.total(), vc_};
 }
 
+NotifierSite::ResyncTicket NotifierSite::resync_site(SiteId site) {
+  CCVC_CHECK_MSG(cfg_.stamp_mode == StampMode::kCompressed,
+                 "client resync requires the compressed scheme");
+  CCVC_CHECK(site >= 1 && site <= num_sites_);
+  CCVC_CHECK_MSG(active_[site], "cannot resync a departed site");
+  // The snapshot embodies everything executed at site 0 *except* the
+  // site's own operations (eq. (1) excludes them from its stamp), so the
+  // send counter restarts at exactly Σ_{j≠site} SV_0[j] — preserving the
+  // eq. (1) invariant checked on every broadcast.
+  outgoing_[site].clear();
+  const std::uint64_t embodied = clock_.total() - clock_.from(site);
+  enqueued_[site] = embodied;
+  acked_[site] = embodied;
+  if (observer_) observer_->on_client_resync(site);
+  return ResyncTicket{doc_.text(), embodied, clock_.from(site)};
+}
+
 void NotifierSite::remove_site(SiteId site) {
   CCVC_CHECK(site >= 1 && site <= num_sites_);
   CCVC_CHECK_MSG(active_[site], "site already departed");

@@ -70,6 +70,25 @@ class NotifierSite {
   /// Clients never track N, so nothing needs to be told to the others.
   JoinTicket add_site();
 
+  /// Everything a crash-restarted client needs to rejoin with a fresh
+  /// replica: the notifier's document snapshot, the center operations it
+  /// embodies (the restarted SV_i[1]) and the site's preserved own-
+  /// generation count (the restarted SV_i[2], so new operations continue
+  /// the numbering SV_0[site] expects).
+  struct ResyncTicket {
+    std::string document;
+    std::uint64_t ops_embodied = 0;
+    std::uint64_t own_ops = 0;
+  };
+
+  /// Re-synchronizes a crashed client from the notifier's current state,
+  /// like a late joiner that keeps its site id: the site's bridge queue
+  /// resets (the snapshot embodies everything) and its acknowledgement
+  /// counters jump to the snapshot point.  Local operations the crash
+  /// destroyed before they reached the notifier are gone — that is what
+  /// crashing means.  Compressed stamp mode only.
+  ResyncTicket resync_site(SiteId site);
+
   /// Marks a site as departed: no further broadcasts or bridge state for
   /// it, and garbage collection stops waiting for its acknowledgements.
   /// Its past operations (and its slot in SV_0) remain — departure does

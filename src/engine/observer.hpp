@@ -65,6 +65,11 @@ class EngineObserver {
   /// A site joined the session late, seeded with the notifier's current
   /// document snapshot (it causally knows everything executed so far).
   virtual void on_client_join(SiteId /*site*/) {}
+  /// A crashed site re-entered via snapshot resync: its replica was
+  /// rebuilt from the notifier's current state (unpropagated local edits
+  /// are lost — honest crash semantics), so it now causally knows
+  /// exactly what the notifier knows.
+  virtual void on_client_resync(SiteId /*site*/) {}
 
   // --- mesh baseline -----------------------------------------------
   /// A mesh site generated an operation with the given protocol stamp.

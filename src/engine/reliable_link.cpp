@@ -1,0 +1,298 @@
+#include "engine/reliable_link.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/checksum.hpp"
+
+namespace ccvc::engine {
+
+namespace {
+
+constexpr std::size_t kCrcBytes = 4;
+
+void append_crc(util::ByteSink& sink) {
+  const std::uint32_t crc = util::crc32(sink.bytes());
+  sink.put_u8(static_cast<std::uint8_t>(crc));
+  sink.put_u8(static_cast<std::uint8_t>(crc >> 8));
+  sink.put_u8(static_cast<std::uint8_t>(crc >> 16));
+  sink.put_u8(static_cast<std::uint8_t>(crc >> 24));
+}
+
+}  // namespace
+
+net::Payload encode_frame(const Frame& frame) {
+  util::ByteSink sink;
+  sink.put_u8(static_cast<std::uint8_t>(frame.kind));
+  if (frame.kind == Frame::Kind::kData) sink.put_uvarint(frame.seq);
+  sink.put_uvarint(frame.ack);
+  if (frame.kind == Frame::Kind::kData) {
+    sink.put_raw(frame.payload.data(), frame.payload.size());
+  }
+  append_crc(sink);
+  return sink.bytes();
+}
+
+Frame decode_frame(const net::Payload& bytes) {
+  if (bytes.size() < 1 + kCrcBytes) {
+    throw util::DecodeError("frame too short");
+  }
+  const std::size_t body = bytes.size() - kCrcBytes;
+  const std::uint32_t want = static_cast<std::uint32_t>(bytes[body]) |
+                             (static_cast<std::uint32_t>(bytes[body + 1]) << 8) |
+                             (static_cast<std::uint32_t>(bytes[body + 2]) << 16) |
+                             (static_cast<std::uint32_t>(bytes[body + 3]) << 24);
+  if (util::crc32(bytes.data(), body) != want) {
+    throw util::DecodeError("frame checksum mismatch");
+  }
+
+  util::ByteSource src(bytes.data(), body);
+  Frame frame;
+  const std::uint8_t tag = src.get_u8();
+  if (tag == static_cast<std::uint8_t>(Frame::Kind::kData)) {
+    frame.kind = Frame::Kind::kData;
+    frame.seq = src.get_uvarint();
+    frame.ack = src.get_uvarint();
+    frame.payload.reserve(src.remaining());
+    while (!src.exhausted()) frame.payload.push_back(src.get_u8());
+  } else if (tag == static_cast<std::uint8_t>(Frame::Kind::kAck)) {
+    frame.kind = Frame::Kind::kAck;
+    frame.ack = src.get_uvarint();
+    if (!src.exhausted()) {
+      throw util::DecodeError("trailing bytes in ack frame");
+    }
+  } else {
+    throw util::DecodeError("unknown frame tag");
+  }
+  return frame;
+}
+
+ReliableLink::ReliableLink(net::EventQueue& queue,
+                           const ReliabilityConfig& cfg, std::string name,
+                           RawSend raw_send, Deliver deliver)
+    : queue_(queue),
+      cfg_(cfg),
+      name_(std::move(name)),
+      raw_send_(std::move(raw_send)),
+      deliver_(std::move(deliver)),
+      current_rto_(cfg.rto_ms) {}
+
+std::shared_ptr<ReliableLink> ReliableLink::make(net::EventQueue& queue,
+                                                 const ReliabilityConfig& cfg,
+                                                 std::string name,
+                                                 RawSend raw_send,
+                                                 Deliver deliver) {
+  return std::shared_ptr<ReliableLink>(new ReliableLink(
+      queue, cfg, std::move(name), std::move(raw_send), std::move(deliver)));
+}
+
+std::shared_ptr<ReliableLink> ReliableLink::restore(
+    net::EventQueue& queue, const ReliabilityConfig& cfg, std::string name,
+    const State& state, RawSend raw_send, Deliver deliver) {
+  auto link = make(queue, cfg, std::move(name), std::move(raw_send),
+                   std::move(deliver));
+  link->next_seq_ = state.next_seq;
+  link->expected_ = state.expected;
+  link->unacked_.assign(state.unacked.begin(), state.unacked.end());
+  for (const auto& [seq, payload] : state.out_of_order) {
+    link->out_of_order_.emplace(seq, payload);
+  }
+  if (!link->unacked_.empty()) link->arm_rto();
+  if (state.ack_due) {
+    link->ack_due_ = true;
+    link->schedule_delayed_ack();
+  }
+  return link;
+}
+
+ReliableLink::State ReliableLink::state() const {
+  State s;
+  s.next_seq = next_seq_;
+  s.expected = expected_;
+  s.ack_due = ack_due_;
+  s.unacked.assign(unacked_.begin(), unacked_.end());
+  s.out_of_order.assign(out_of_order_.begin(), out_of_order_.end());
+  return s;
+}
+
+void ReliableLink::encode_state(util::ByteSink& sink) const {
+  sink.put_uvarint(next_seq_);
+  sink.put_uvarint(expected_);
+  sink.put_u8(ack_due_ ? 1 : 0);
+  sink.put_uvarint(unacked_.size());
+  for (const auto& [seq, payload] : unacked_) {
+    sink.put_uvarint(seq);
+    sink.put_uvarint(payload.size());
+    sink.put_raw(payload.data(), payload.size());
+  }
+  sink.put_uvarint(out_of_order_.size());
+  for (const auto& [seq, payload] : out_of_order_) {
+    sink.put_uvarint(seq);
+    sink.put_uvarint(payload.size());
+    sink.put_raw(payload.data(), payload.size());
+  }
+}
+
+ReliableLink::State ReliableLink::decode_state(util::ByteSource& src) {
+  auto read_entries = [&src] {
+    const std::uint64_t n = src.get_uvarint();
+    if (n > src.remaining()) {
+      throw util::DecodeError("corrupt link state: entry count");
+    }
+    std::vector<std::pair<std::uint64_t, net::Payload>> entries;
+    entries.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t seq = src.get_uvarint();
+      const std::uint64_t len = src.get_uvarint();
+      if (len > src.remaining()) {
+        throw util::DecodeError("corrupt link state: payload length");
+      }
+      net::Payload payload;
+      payload.reserve(static_cast<std::size_t>(len));
+      for (std::uint64_t k = 0; k < len; ++k) payload.push_back(src.get_u8());
+      entries.emplace_back(seq, std::move(payload));
+    }
+    return entries;
+  };
+
+  State s;
+  s.next_seq = src.get_uvarint();
+  s.expected = src.get_uvarint();
+  s.ack_due = src.get_u8() != 0;
+  s.unacked = read_entries();
+  s.out_of_order = read_entries();
+  return s;
+}
+
+void ReliableLink::send(net::Payload payload) {
+  const std::uint64_t seq = next_seq_++;
+  unacked_.emplace_back(seq, payload);
+  CCVC_CHECK_MSG(unacked_.size() <= cfg_.max_unacked,
+                 "link " + name_ + " retransmit buffer overflow");
+  stats_.data_sent += 1;
+  transmit_data(seq, payload);
+  arm_rto();
+}
+
+void ReliableLink::transmit_data(std::uint64_t seq,
+                                 const net::Payload& payload) {
+  Frame frame;
+  frame.kind = Frame::Kind::kData;
+  frame.seq = seq;
+  frame.ack = expected_ - 1;  // piggybacked cumulative ack
+  frame.payload = payload;
+  ack_due_ = false;  // the piggybacked ack carries the cursor
+  raw_send_(encode_frame(frame));
+}
+
+void ReliableLink::on_frame(const net::Payload& bytes) {
+  Frame frame;
+  try {
+    frame = decode_frame(bytes);
+  } catch (const util::DecodeError&) {
+    // Corrupt (or truncated) frame: drop it.  The sender's retransmit
+    // timer heals the loss — corruption is detected, never executed.
+    stats_.checksum_rejects += 1;
+    return;
+  }
+
+  process_ack(frame.ack);
+  if (frame.kind == Frame::Kind::kAck) return;
+
+  ack_due_ = true;  // even duplicates: their earlier ack may be lost
+  if (frame.seq < expected_) {
+    stats_.duplicates += 1;
+    schedule_delayed_ack();
+    return;
+  }
+  if (frame.seq == expected_) {
+    deliver_in_order(frame.payload);
+    expected_ += 1;
+    // Drain any buffered successors that became in-order.
+    auto it = out_of_order_.find(expected_);
+    while (it != out_of_order_.end()) {
+      deliver_in_order(it->second);
+      out_of_order_.erase(it);
+      expected_ += 1;
+      it = out_of_order_.find(expected_);
+    }
+  } else {
+    // Gap: buffer until the missing predecessors arrive (re-imposing
+    // FIFO over an unordered or lossy channel).
+    const bool inserted =
+        out_of_order_.emplace(frame.seq, frame.payload).second;
+    if (inserted) {
+      stats_.reordered += 1;
+    } else {
+      stats_.duplicates += 1;
+    }
+  }
+  schedule_delayed_ack();
+}
+
+void ReliableLink::deliver_in_order(const net::Payload& payload) {
+  stats_.delivered += 1;
+  deliver_(payload);
+}
+
+void ReliableLink::note_replayed_delivery() {
+  out_of_order_.erase(expected_);
+  expected_ += 1;
+}
+
+void ReliableLink::process_ack(std::uint64_t ack) {
+  bool progress = false;
+  while (!unacked_.empty() && unacked_.front().first <= ack) {
+    unacked_.pop_front();
+    progress = true;
+  }
+  // Forward progress restarts the backoff schedule.
+  if (progress) current_rto_ = cfg_.rto_ms;
+}
+
+void ReliableLink::schedule_delayed_ack() {
+  if (ack_timer_armed_) return;
+  ack_timer_armed_ = true;
+  std::weak_ptr<ReliableLink> weak = weak_from_this();
+  queue_.schedule_in(cfg_.ack_delay_ms, [weak] {
+    auto self = weak.lock();
+    if (!self) return;  // endpoint crashed; the timer evaporates
+    self->ack_timer_armed_ = false;
+    if (!self->ack_due_) return;  // a data frame piggybacked it already
+    Frame frame;
+    frame.kind = Frame::Kind::kAck;
+    frame.ack = self->expected_ - 1;
+    self->ack_due_ = false;
+    self->stats_.acks_sent += 1;
+    self->raw_send_(encode_frame(frame));
+  });
+}
+
+void ReliableLink::arm_rto() {
+  if (rto_armed_) return;
+  rto_armed_ = true;
+  std::weak_ptr<ReliableLink> weak = weak_from_this();
+  queue_.schedule_in(current_rto_, [weak] {
+    auto self = weak.lock();
+    if (!self) return;
+    self->rto_armed_ = false;
+    self->on_rto_fire();
+  });
+}
+
+void ReliableLink::on_rto_fire() {
+  if (unacked_.empty()) {
+    current_rto_ = cfg_.rto_ms;
+    return;  // all acked; the timer disarms until the next send
+  }
+  // Retransmit the oldest unacked frame (cumulative acks mean it is the
+  // one the receiver is missing) and back off exponentially so a long
+  // partition does not flood the queue.
+  const auto& [seq, payload] = unacked_.front();
+  stats_.retransmits += 1;
+  transmit_data(seq, payload);
+  current_rto_ = std::min(current_rto_ * cfg_.rto_backoff, cfg_.max_rto_ms);
+  arm_rto();
+}
+
+}  // namespace ccvc::engine

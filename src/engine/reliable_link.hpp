@@ -1,0 +1,175 @@
+// Reliability sublayer: one direction of a resilient connection.
+//
+// The paper's protocol is only sound over lossless FIFO channels (§4).
+// A ReliableLink re-creates that guarantee on top of a faulty Channel —
+// the simulator's stand-in for TCP plus the session-level resend layer a
+// deployed REDUCE server needed across reconnects (Sun & Cai §5):
+//
+//   * every application payload is framed with a monotonically
+//     increasing per-link sequence number;
+//   * the whole frame (header + payload) is covered by a trailing
+//     CRC-32, so the fault model's byte corruption is *detected* and the
+//     frame discarded rather than decoded into garbage (a corrupted ack
+//     field could otherwise wrongly prune the retransmit buffer);
+//   * sent frames stay in a bounded retransmit buffer until cumulatively
+//     acknowledged; a timeout with exponential backoff (driven by the
+//     simulator's event queue) retransmits the oldest unacked frame;
+//   * every data frame piggybacks the receive cursor as a cumulative
+//     ack; a delayed standalone ack covers one-directional traffic;
+//   * the receiver delivers exactly once, in sequence order: duplicates
+//     are dropped (and re-acked, healing lost acks), gaps are buffered —
+//     sequence numbers re-impose FIFO even over an unordered channel.
+//
+// The link's complete state (cursors + buffered frames) is
+// serializable, so a crashed endpoint restored from a checkpoint
+// resumes the conversation exactly where the checkpoint left it
+// (engine/session.hpp builds notifier crash-restart on this).
+//
+// Links are handed out as shared_ptr and their timers hold weak_ptrs:
+// the event queue cannot cancel events, so timers of a crashed (freed)
+// endpoint simply evaporate instead of firing into freed state.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/event_queue.hpp"
+#include "util/varint.hpp"
+
+namespace ccvc::engine {
+
+struct ReliabilityConfig {
+  bool enabled = false;        ///< sessions bypass the sublayer when off
+  double rto_ms = 80.0;        ///< initial retransmission timeout
+  double rto_backoff = 2.0;    ///< multiplier per successive timeout
+  double max_rto_ms = 1500.0;  ///< backoff ceiling (partition survival)
+  double ack_delay_ms = 5.0;   ///< delayed standalone-ack window
+  std::size_t max_unacked = 4096;  ///< retransmit-buffer bound
+};
+
+/// Wire frame of the reliability sublayer.  Layout:
+///   tag (0xF0 data | 0xF1 ack), [uvarint seq — data only],
+///   uvarint ack, payload bytes (data only), CRC-32 (4 bytes LE) over
+///   everything preceding it.
+struct Frame {
+  enum class Kind : std::uint8_t { kData = 0xF0, kAck = 0xF1 };
+
+  Kind kind = Kind::kData;
+  std::uint64_t seq = 0;  ///< data frames; first frame on a link is 1
+  std::uint64_t ack = 0;  ///< cumulative: every seq ≤ ack was delivered
+  net::Payload payload;
+};
+
+net::Payload encode_frame(const Frame& frame);
+
+/// Decodes and verifies a frame; throws util::DecodeError on truncation,
+/// checksum mismatch, or an unknown tag.
+Frame decode_frame(const net::Payload& bytes);
+
+struct LinkStats {
+  std::uint64_t data_sent = 0;    ///< first transmissions
+  std::uint64_t retransmits = 0;  ///< timeout-driven resends
+  std::uint64_t acks_sent = 0;    ///< standalone ack frames
+  std::uint64_t delivered = 0;    ///< payloads handed to the application
+  std::uint64_t duplicates = 0;   ///< data frames below the cursor
+  std::uint64_t reordered = 0;    ///< data frames buffered past a gap
+  std::uint64_t checksum_rejects = 0;  ///< frames failing CRC/decode
+};
+
+class ReliableLink : public std::enable_shared_from_this<ReliableLink> {
+ public:
+  /// Transmits an encoded frame on the underlying (faulty) channel.
+  using RawSend = std::function<void(net::Payload)>;
+  /// Hands an in-order, exactly-once application payload up the stack.
+  using Deliver = std::function<void(const net::Payload&)>;
+
+  static std::shared_ptr<ReliableLink> make(net::EventQueue& queue,
+                                            const ReliabilityConfig& cfg,
+                                            std::string name, RawSend raw_send,
+                                            Deliver deliver);
+
+  /// Frames, buffers, and transmits one application payload.
+  void send(net::Payload payload);
+
+  /// Feed every raw channel delivery here (install as the channel's
+  /// receiver).  Corrupt frames are counted and dropped — the
+  /// retransmit timer heals the loss.
+  void on_frame(const net::Payload& bytes);
+
+  const LinkStats& stats() const { return stats_; }
+  std::size_t unacked_count() const { return unacked_.size(); }
+  std::uint64_t next_seq() const { return next_seq_; }
+  std::uint64_t expected_seq() const { return expected_; }
+
+  // --- checkpoint/restore --------------------------------------------
+  /// Complete protocol state of the link (statistics excluded).
+  struct State {
+    std::uint64_t next_seq = 1;
+    std::uint64_t expected = 1;
+    bool ack_due = false;
+    std::vector<std::pair<std::uint64_t, net::Payload>> unacked;
+    std::vector<std::pair<std::uint64_t, net::Payload>> out_of_order;
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+
+  State state() const;
+  void encode_state(util::ByteSink& sink) const;
+  static State decode_state(util::ByteSource& src);
+
+  /// Rebuilds a link mid-conversation; re-arms the retransmit timer if
+  /// unacked frames were captured.
+  static std::shared_ptr<ReliableLink> restore(net::EventQueue& queue,
+                                               const ReliabilityConfig& cfg,
+                                               std::string name,
+                                               const State& state,
+                                               RawSend raw_send,
+                                               Deliver deliver);
+
+  /// Advances the receive cursor past one payload that the application
+  /// re-processed from its own durable log (WAL replay after a crash):
+  /// the peer's retransmission of that frame must dedup, not redeliver.
+  void note_replayed_delivery();
+
+ private:
+  ReliableLink(net::EventQueue& queue, const ReliabilityConfig& cfg,
+               std::string name, RawSend raw_send, Deliver deliver);
+
+  void transmit_data(std::uint64_t seq, const net::Payload& payload);
+  void process_ack(std::uint64_t ack);
+  void deliver_in_order(const net::Payload& payload);
+  void schedule_delayed_ack();
+  void arm_rto();
+  void on_rto_fire();
+
+  net::EventQueue& queue_;
+  ReliabilityConfig cfg_;
+  std::string name_;
+  RawSend raw_send_;
+  Deliver deliver_;
+
+  std::uint64_t next_seq_ = 1;  ///< seq of the next frame sent
+  std::uint64_t expected_ = 1;  ///< next in-order seq to deliver
+  /// The peer is owed an acknowledgement.  Set on every received data
+  /// frame — including duplicates, whose earlier ack may be the message
+  /// that was lost — and cleared by any transmission carrying the
+  /// cursor (piggybacked or standalone).
+  bool ack_due_ = false;
+  std::deque<std::pair<std::uint64_t, net::Payload>> unacked_;
+  std::map<std::uint64_t, net::Payload> out_of_order_;
+
+  double current_rto_ = 0.0;
+  bool rto_armed_ = false;
+  bool ack_timer_armed_ = false;
+
+  LinkStats stats_;
+};
+
+}  // namespace ccvc::engine

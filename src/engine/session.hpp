@@ -15,17 +15,27 @@
 //   session.client(2).erase(2, 3);
 //   session.run_to_quiescence();
 //   assert(session.converged());
+//
+// With cfg.reliability.enabled the session speaks the reliability
+// sublayer (engine/reliable_link.hpp) over its channels and gains the
+// fault-tolerance API: fault plans on the links, client disconnect/
+// reconnect, crash-restart of clients (snapshot resync) and of the
+// notifier (checkpoint + write-ahead-log replay, Fowler–Zwaenepoel-style
+// pessimistic logging).  docs/FAULTS.md walks through the protocol.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/client_site.hpp"
 #include "engine/mesh_site.hpp"
 #include "engine/notifier_site.hpp"
+#include "engine/reliable_link.hpp"
 #include "net/channel.hpp"
 #include "net/event_queue.hpp"
+#include "net/fault.hpp"
 #include "net/latency.hpp"
 #include "util/rng.hpp"
 
@@ -41,8 +51,18 @@ struct StarSessionConfig {
   net::LatencyModel downlink = net::LatencyModel::fixed(10.0);
   /// Failure injection: kUnordered drops the FIFO guarantee the paper's
   /// simplified checks (5)/(7) rely on.  Expect breakage — that is the
-  /// point of the knob (see tests/integration/fifo_requirement_test).
+  /// point of the knob (see tests/integration/fifo_requirement_test) —
+  /// unless the reliability sublayer is enabled, whose sequence numbers
+  /// re-impose FIFO.
   net::Ordering channel_ordering = net::Ordering::kFifo;
+  /// Reliability sublayer (seq/ack/CRC frames, retransmission, dedup).
+  /// Required for the fault plans below to be survivable and for the
+  /// crash/recovery APIs.
+  ReliabilityConfig reliability;
+  /// Fault plan applied to every client -> notifier channel.
+  net::FaultPlan uplink_faults;
+  /// Fault plan applied to every notifier -> client channel.
+  net::FaultPlan downlink_faults;
   std::uint64_t seed = 0x5eed;
 };
 
@@ -102,7 +122,62 @@ class StarSession {
   /// Document texts, index 0 = notifier, then one per *active* client.
   std::vector<std::string> documents() const;
 
+  // --- fault tolerance ------------------------------------------------
+  // (docs/FAULTS.md; most of these require cfg.reliability.enabled)
+
+  /// Swaps in a notifier rebuilt from `ckpt` (a save_checkpoint(notifier())
+  /// blob).  Valid mid-flight: in-flight traffic keeps flowing to the
+  /// restored instance, which must behave identically if the checkpoint
+  /// captured the complete state — the state-completeness test the
+  /// snapshot machinery was missing.  Works with or without the
+  /// reliability layer; for *lossy* crash semantics use crash_notifier().
+  void restore_notifier(const net::Payload& ckpt);
+
+  /// Takes the notifier's durable checkpoint (engine state + every
+  /// notifier-side link state, atomically) and truncates the write-ahead
+  /// log.  Called automatically at construction and on membership
+  /// changes; call it periodically to bound recovery time.
+  void checkpoint_notifier();
+
+  /// Kills the notifier process and restarts it from the last durable
+  /// checkpoint: every connection resets (in-flight traffic lost), the
+  /// engine and its link states reload, and the write-ahead log of
+  /// client payloads delivered since the checkpoint replays — the
+  /// deterministic engine then regenerates the exact broadcasts the
+  /// crash destroyed, and peers deduplicate whatever they already saw.
+  void crash_notifier();
+
+  /// Severs both of client `i`'s links: in-flight traffic is lost and
+  /// new sends vanish until reconnect_client().  The reliability layer
+  /// retransmits across the outage, so nothing is ultimately lost.
+  void disconnect_client(SiteId i);
+  void reconnect_client(SiteId i);
+
+  /// Crash-restarts client `i` with total state loss, rebuilding its
+  /// replica from the notifier's current snapshot (resync_site): local
+  /// operations that never reached the notifier are gone — honest crash
+  /// semantics — and both link directions restart on fresh connections.
+  void restart_client(SiteId i);
+
+  /// Aggregated reliability-layer statistics over every link.
+  LinkStats link_stats() const;
+  const ReliableLink& client_link(SiteId i) const { return *client_links_[i]; }
+  const ReliableLink& notifier_link(SiteId i) const {
+    return *notifier_links_[i];
+  }
+
+  std::size_t wal_size() const { return wal_.size(); }
+  std::uint64_t notifier_crashes() const { return notifier_crashes_; }
+  std::uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+
  private:
+  ClientSite::SendFn client_send_fn(SiteId i);
+  NotifierSite::SendFn center_send_fn();
+  void make_client_link(SiteId i);
+  void make_notifier_link(SiteId i, const ReliableLink::State* state);
+  void wire_channels(SiteId i);
+  void restore_notifier_bundle(const net::Payload& bundle);
+
   StarSessionConfig cfg_;
   net::EventQueue queue_;
   util::Rng rng_;
@@ -110,6 +185,19 @@ class StarSession {
   EngineObserver* observer_ = nullptr;
   std::unique_ptr<NotifierSite> notifier_;
   std::vector<std::unique_ptr<ClientSite>> clients_;  // [site id]; [0] null
+
+  // Reliability sublayer (empty unless cfg_.reliability.enabled).
+  std::vector<std::shared_ptr<ReliableLink>> client_links_;    // [site id]
+  std::vector<std::shared_ptr<ReliableLink>> notifier_links_;  // [site id]
+
+  // The notifier's durable storage: last atomic checkpoint (engine +
+  // link states, tag 0xD4) plus the write-ahead log of every uplink
+  // payload delivered since.  Modeled as session members because they
+  // survive the crash by definition — they are the disk.
+  net::Payload notifier_ckpt_;
+  std::vector<std::pair<SiteId, net::Payload>> wal_;
+  std::uint64_t notifier_crashes_ = 0;
+  std::uint64_t checkpoints_taken_ = 0;
 };
 
 struct MeshSessionConfig {

@@ -20,8 +20,49 @@ void Channel::send(Payload bytes) {
   stats_.msg_size.add(static_cast<double>(bytes.size()));
 
   const SimTime sent_at = queue_.now();
+  if (down_ || (plan_.active() && plan_.is_down_at(sent_at))) {
+    fault_stats_.dropped_down += 1;
+    return;
+  }
+  if (!plan_.active()) {
+    schedule_delivery(std::move(bytes), sent_at);
+    return;
+  }
+
+  // Fault pipeline.  Draw order is fixed (drop, corrupt, dup, then the
+  // per-copy latency/reorder draws inside schedule_delivery) so a plan's
+  // perturbations are a pure function of the seed.
+  if (rng_.chance(plan_.drop_prob)) {
+    fault_stats_.dropped += 1;
+    return;
+  }
+  if (!bytes.empty() && rng_.chance(plan_.corrupt_prob)) {
+    // Flip one byte to a guaranteed-different value: a ≤ 8-bit burst,
+    // which the frame CRC-32 detects with certainty.
+    bytes[rng_.index(bytes.size())] ^=
+        static_cast<std::uint8_t>(1 + rng_.below(255));
+    fault_stats_.corrupted += 1;
+  }
+  const bool duplicate = rng_.chance(plan_.dup_prob);
+  if (duplicate) {
+    fault_stats_.duplicated += 1;
+    schedule_delivery(bytes, sent_at);  // extra copy, independent latency
+  }
+  schedule_delivery(std::move(bytes), sent_at);
+}
+
+void Channel::schedule_delivery(Payload bytes, SimTime sent_at) {
   SimTime deliver_at = sent_at + latency_.sample(rng_);
-  if (ordering_ == Ordering::kFifo) {
+  bool clamp = ordering_ == Ordering::kFifo;
+  if (plan_.active() && plan_.reorder_prob > 0.0 &&
+      rng_.chance(plan_.reorder_prob)) {
+    // Hold this message back beyond the FIFO clamp: later sends may
+    // overtake it (do not advance last_delivery_ past it either).
+    deliver_at += rng_.uniform(0.0, plan_.reorder_window_ms);
+    clamp = false;
+    fault_stats_.reordered += 1;
+  }
+  if (clamp) {
     // FIFO: never deliver before an earlier message on this channel.
     // Equal times are fine — the event queue breaks ties in scheduling
     // order.
@@ -30,12 +71,23 @@ void Channel::send(Payload bytes) {
   }
   stats_.latency_ms.add(deliver_at - sent_at);
 
+  in_flight_ += 1;
   queue_.schedule_at(
-      deliver_at, [this, payload = std::move(bytes)]() {
+      deliver_at, [this, epoch = epoch_, payload = std::move(bytes)]() {
+        if (epoch != epoch_) return;  // voided by drop_in_flight()
+        in_flight_ -= 1;
         CCVC_CHECK_MSG(static_cast<bool>(receiver_),
                        "channel " + name_ + " has no receiver installed");
         receiver_(payload);
       });
+}
+
+void Channel::drop_in_flight() {
+  epoch_ += 1;
+  fault_stats_.dropped_reset += in_flight_;
+  in_flight_ = 0;
+  // A fresh connection has no earlier deliveries to order behind.
+  last_delivery_ = queue_.now();
 }
 
 Channel& Network::add_channel(SiteId from, SiteId to,
@@ -77,6 +129,20 @@ std::uint64_t Network::total_bytes() const {
   std::uint64_t n = 0;
   for (const auto& [key, ch] : channels_) n += ch->stats().bytes;
   return n;
+}
+
+FaultStats Network::total_fault_stats() const {
+  FaultStats total;
+  for (const auto& [key, ch] : channels_) {
+    const FaultStats& s = ch->fault_stats();
+    total.dropped += s.dropped;
+    total.duplicated += s.duplicated;
+    total.corrupted += s.corrupted;
+    total.reordered += s.reordered;
+    total.dropped_down += s.dropped_down;
+    total.dropped_reset += s.dropped_reset;
+  }
+  return total;
 }
 
 void Network::for_each(

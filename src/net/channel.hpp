@@ -9,6 +9,12 @@
 // clamping each delivery time to be no earlier than the previous one on
 // the same channel.
 //
+// For robustness testing a channel can additionally carry a FaultPlan
+// (net/fault.hpp): seeded drop/duplicate/corrupt/reorder decisions plus
+// link down/up and connection-reset (drop_in_flight) events.  A channel
+// with no plan draws no fault randomness at all, so fault-free runs are
+// byte-identical to the pre-fault simulator.
+//
 // Channels count messages and bytes; experiment E3 reads these counters
 // to compare timestamp overhead across schemes.
 #pragma once
@@ -22,6 +28,7 @@
 #include <vector>
 
 #include "net/event_queue.hpp"
+#include "net/fault.hpp"
 #include "net/latency.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -60,13 +67,31 @@ class Channel {
   void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
 
   /// Queues `bytes` for delivery after sampled latency, preserving FIFO
-  /// order relative to earlier sends on this channel.
+  /// order relative to earlier sends on this channel — subject to the
+  /// fault plan, which may drop, duplicate, corrupt, or reorder it.
   void send(Payload bytes);
+
+  // --- fault injection ------------------------------------------------
+  void set_fault_plan(FaultPlan plan) { plan_ = std::move(plan); }
+  const FaultPlan& fault_plan() const { return plan_; }
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+  /// Administratively downs/ups the link: while down, every send is
+  /// lost (in addition to any scheduled DownWindow of the plan).
+  void set_down(bool down) { down_ = down; }
+  bool is_down() const { return down_; }
+
+  /// Connection reset: every in-flight delivery is voided (its queued
+  /// event becomes a no-op) and the FIFO clamp restarts — what a TCP
+  /// connection teardown does to unacked segments.
+  void drop_in_flight();
 
   const ChannelStats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
 
  private:
+  void schedule_delivery(Payload bytes, SimTime sent_at);
+
   EventQueue& queue_;
   LatencyModel latency_;
   util::Rng rng_;
@@ -75,6 +100,12 @@ class Channel {
   ChannelStats stats_;
   std::string name_;
   Ordering ordering_;
+
+  FaultPlan plan_;
+  FaultStats fault_stats_;
+  bool down_ = false;
+  std::uint64_t epoch_ = 0;      // bumped by drop_in_flight()
+  std::uint64_t in_flight_ = 0;  // deliveries scheduled but not yet run
 };
 
 /// Owns the directed channels of a topology and aggregates their stats.
@@ -93,6 +124,9 @@ class Network {
 
   std::uint64_t total_messages() const;
   std::uint64_t total_bytes() const;
+
+  /// Sum of fault counters across every channel.
+  FaultStats total_fault_stats() const;
 
   /// Visits every channel as (from, to, channel).
   void for_each(

@@ -21,6 +21,7 @@ bool EventQueue::step() {
   Event ev = heap_.top();
   heap_.pop();
   now_ = ev.t;
+  last_event_time_ = ev.t;
   ev.fn();
   return true;
 }

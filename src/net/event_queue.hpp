@@ -45,6 +45,11 @@ class EventQueue {
 
   std::size_t pending() const { return heap_.size(); }
 
+  /// Timestamp of the most recently executed event.  Unlike now(),
+  /// run_until() does not advance this past the final event, so after
+  /// a drained run it marks the true quiescence instant.
+  SimTime last_event_time() const { return last_event_time_; }
+
  private:
   struct Event {
     SimTime t;
@@ -59,6 +64,7 @@ class EventQueue {
   };
 
   SimTime now_ = 0.0;
+  SimTime last_event_time_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
 };

@@ -1,0 +1,70 @@
+// Fault model for the simulated network (the chaos testbed's knob box).
+//
+// A FaultPlan attaches to one directed Channel and perturbs its
+// deliveries: probabilistic message drop, duplication, single-byte
+// corruption, reorder-within-window, plus scheduled link-down windows
+// (partitions).  Every decision is drawn from the channel's own forked
+// RNG under the deterministic event queue, so a fault-ridden run is
+// exactly reproducible from the session seed — chaos you can replay.
+//
+// Faults model the *transport*, not the adversary: corruption flips one
+// byte per affected message (the classic bit-rot/framing error), which
+// CRC-32 detects with certainty (burst ≤ 32 bits), so the reliability
+// sublayer can treat "corrupted" as "dropped" and heal by retransmit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/event_queue.hpp"
+
+namespace ccvc::net {
+
+/// Half-open interval [from, until) of sim-time during which a link is
+/// down; messages sent inside it vanish (as during a partition).
+struct DownWindow {
+  SimTime from = 0.0;
+  SimTime until = 0.0;
+};
+
+struct FaultPlan {
+  double drop_prob = 0.0;     ///< message silently lost
+  double dup_prob = 0.0;      ///< message delivered twice
+  double corrupt_prob = 0.0;  ///< one payload byte flipped
+  double reorder_prob = 0.0;  ///< delivery delayed past FIFO successors
+  /// Extra delay bound for a reordered message (uniform in [0, window)).
+  double reorder_window_ms = 50.0;
+  std::vector<DownWindow> down;
+
+  /// True if any fault can ever fire.  The channel skips every fault RNG
+  /// draw while inactive, so configuring no faults keeps existing runs
+  /// byte-identical.
+  bool active() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || corrupt_prob > 0.0 ||
+           reorder_prob > 0.0 || !down.empty();
+  }
+
+  bool is_down_at(SimTime t) const {
+    for (const DownWindow& w : down) {
+      if (t >= w.from && t < w.until) return true;
+    }
+    return false;
+  }
+};
+
+struct FaultStats {
+  std::uint64_t dropped = 0;        ///< lost to drop_prob
+  std::uint64_t duplicated = 0;     ///< extra copies delivered
+  std::uint64_t corrupted = 0;      ///< payloads with a flipped byte
+  std::uint64_t reordered = 0;      ///< deliveries released from FIFO
+  std::uint64_t dropped_down = 0;   ///< lost to a down link
+  std::uint64_t dropped_reset = 0;  ///< in-flight, voided by a reset
+
+  /// Total faults that actually perturbed traffic.
+  std::uint64_t injected() const {
+    return dropped + duplicated + corrupted + reordered + dropped_down +
+           dropped_reset;
+  }
+};
+
+}  // namespace ccvc::net

@@ -1,0 +1,81 @@
+#include "sim/intention.hpp"
+
+#include <map>
+#include <utility>
+
+namespace ccvc::sim {
+
+std::string check_intention_merge(const std::string& base,
+                                  const std::vector<IntentionOp>& ops,
+                                  const std::string& merged) {
+  std::vector<bool> deleted(base.size(), false);
+  for (const auto& op : ops) {
+    if (!op.is_insert) {
+      for (std::size_t k = 0; k < op.count; ++k) deleted[op.pos + k] = true;
+    }
+  }
+  std::string survivors;
+  for (std::size_t k = 0; k < base.size(); ++k) {
+    if (!deleted[k]) survivors.push_back(base[k]);
+  }
+
+  auto slot_of = [&](std::size_t pos) {
+    std::size_t s = 0;
+    for (std::size_t k = 0; k < pos; ++k) {
+      if (!deleted[k]) ++s;
+    }
+    return s;
+  };
+
+  // Split `merged` into per-slot insert segments around the survivors.
+  // Inserted characters are uppercase; base characters lowercase, so the
+  // survivor walk is unambiguous.
+  std::vector<std::string> segments(survivors.size() + 1);
+  std::size_t next_survivor = 0;
+  for (const char c : merged) {
+    if (next_survivor < survivors.size() && c == survivors[next_survivor] &&
+        (c < 'A' || c > 'Z')) {
+      ++next_survivor;
+    } else {
+      segments[next_survivor].push_back(c);
+    }
+  }
+  if (next_survivor != survivors.size()) {
+    return "survivor characters missing or reordered";
+  }
+
+  // Each insert must appear exactly once, contiguously, in its slot.
+  std::map<std::size_t, std::vector<const IntentionOp*>> by_slot;
+  for (const auto& op : ops) {
+    if (op.is_insert) by_slot[slot_of(op.pos)].push_back(&op);
+  }
+  for (std::size_t s = 0; s <= survivors.size(); ++s) {
+    const auto it = by_slot.find(s);
+    const std::string& seg = segments[s];
+    if (it == by_slot.end()) {
+      if (!seg.empty()) return "unexpected insert text in slot";
+      continue;
+    }
+    // Record each block's offset within the segment.
+    std::size_t expected_len = 0;
+    std::vector<std::pair<const IntentionOp*, std::size_t>> offsets;
+    for (const IntentionOp* op : it->second) {
+      const std::size_t at = seg.find(op->text);
+      if (at == std::string::npos) return "insert text missing from slot";
+      offsets.emplace_back(op, at);
+      expected_len += op->text.size();
+    }
+    if (seg.size() != expected_len) return "stray characters in slot";
+    // Same-anchor groups must be in site order.
+    for (const auto& [a, a_off] : offsets) {
+      for (const auto& [b, b_off] : offsets) {
+        if (a->pos == b->pos && a->site < b->site && a_off > b_off) {
+          return "same-anchor inserts out of site order";
+        }
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace ccvc::sim

@@ -1,0 +1,50 @@
+// Intention-preservation oracle for the all-concurrent case.
+//
+// When every site issues exactly one operation simultaneously (pairwise
+// concurrent), the intention-preserved merge is directly computable
+// without any OT:
+//   * a delete removes exactly its original characters (overlaps remove
+//     each character once);
+//   * an insert anchored at original position p appears immediately
+//     before the first *surviving* original character at or after p
+//     (its "slot"), contiguously and exactly once;
+//   * inserts sharing the same *anchor* are ordered by site priority
+//     (the deterministic II tie-break);
+//   * inserts with different anchors collapsed into one slot by a
+//     concurrent deletion may appear in either order — that order is
+//     decided by the notifier's serialization (the same path-dependence
+//     tp2_test documents), and all replicas agree on it.
+// The engine's converged result must satisfy this oracle for every
+// random instance — an end-to-end check of §2's intention-preservation
+// requirement that does not reuse any transformation code.  Shared by
+// the intention sweep test and the chaos harness (faults must not erode
+// intention preservation, only delay it).
+//
+// Convention: inserted payloads are UPPERCASE and the base document is
+// lowercase-only, so the survivor walk through the merged text is
+// unambiguous.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ccvc::sim {
+
+/// One site's single concurrent operation against the shared base.
+struct IntentionOp {
+  SiteId site = 0;
+  bool is_insert = true;
+  std::size_t pos = 0;
+  std::string text;       ///< insert payload (uppercase by convention)
+  std::size_t count = 0;  ///< delete length
+};
+
+/// Checks `merged` against the oracle; returns an empty string on
+/// success, else a diagnostic.
+std::string check_intention_merge(const std::string& base,
+                                  const std::vector<IntentionOp>& ops,
+                                  const std::string& merged);
+
+}  // namespace ccvc::sim

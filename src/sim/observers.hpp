@@ -39,6 +39,9 @@ class ObserverMux : public engine::EngineObserver {
   void on_client_join(SiteId site) override {
     for (auto* c : children_) c->on_client_join(site);
   }
+  void on_client_resync(SiteId site) override {
+    for (auto* c : children_) c->on_client_resync(site);
+  }
   void on_mesh_generate(SiteId site, const OpId& id,
                         const clocks::VersionVector& stamp) override {
     for (auto* c : children_) c->on_mesh_generate(site, id, stamp);

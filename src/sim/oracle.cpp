@@ -37,7 +37,10 @@ void CausalityOracle::on_client_generate(SiteId site, const OpId& id,
                                          const ot::OpList& /*executed*/) {
   CCVC_CHECK(site >= 1 && site <= num_sites_);
   site_clock_[site].tick(site);
-  stamp_.emplace(id, site_clock_[site]);
+  // Overwrite, not emplace: a crash-restarted client legitimately reuses
+  // the sequence numbers of local ops that died with the crash, and the
+  // regenerated op's context is the one every later verdict is about.
+  stamp_.insert_or_assign(id, site_clock_[site]);
 }
 
 void CausalityOracle::on_center_execute(const OpId& id,
@@ -55,6 +58,15 @@ void CausalityOracle::on_client_join(SiteId site) {
                  "count when using dynamic membership");
   // The join snapshot embodies everything the notifier has executed.
   site_clock_[site].merge(center_knowledge_);
+}
+
+void CausalityOracle::on_client_resync(SiteId site) {
+  CCVC_CHECK(site >= 1 && site <= num_sites_);
+  // A crash-restarted replica is rebuilt from the notifier's snapshot:
+  // it knows exactly what the notifier knows — no more (its unpropagated
+  // local knowledge died with the crash), no less.  Assignment, not
+  // merge.
+  site_clock_[site] = center_knowledge_;
 }
 
 void CausalityOracle::on_client_execute_center(

@@ -58,6 +58,7 @@ class CausalityOracle : public engine::EngineObserver {
   void on_center_execute(const OpId& id, const ot::OpList& executed) override;
   void on_verdict(const engine::Verdict& verdict) override;
   void on_client_join(SiteId site) override;
+  void on_client_resync(SiteId site) override;
 
   // --- mesh baseline ---------------------------------------------------
   void on_mesh_generate(SiteId site, const OpId& id,

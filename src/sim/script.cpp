@@ -103,7 +103,35 @@ ScriptResult run_script(const std::string& text) {
     } else if (w[0] == "no-transform") {
       cfg.engine.transform = false;
       cfg.engine.check_fidelity = false;
+    } else if (w[0] == "reliable") {
+      if (w.size() != 1) fail(st.line_no, "reliable");
+      cfg.reliability.enabled = true;
+    } else if (w[0] == "fault") {
+      if (w.size() < 3) fail(st.line_no, "fault drop|dup|corrupt|reorder P");
+      const double p = to_ms(st, w[2]);
+      if (p < 0.0 || p >= 1.0) fail(st.line_no, "fault probability in [0,1)");
+      auto apply = [&](net::FaultPlan& plan) {
+        if (w[1] == "drop") {
+          plan.drop_prob = p;
+        } else if (w[1] == "dup") {
+          plan.dup_prob = p;
+        } else if (w[1] == "corrupt") {
+          plan.corrupt_prob = p;
+        } else if (w[1] == "reorder") {
+          plan.reorder_prob = p;
+          if (w.size() == 4) plan.reorder_window_ms = to_ms(st, w[3]);
+        } else {
+          fail(st.line_no, "unknown fault kind '" + w[1] + "'");
+        }
+      };
+      apply(cfg.uplink_faults);
+      apply(cfg.downlink_faults);
     }
+  }
+  if ((cfg.uplink_faults.active() || cfg.downlink_faults.active()) &&
+      !cfg.reliability.enabled) {
+    fail(statements.empty() ? 0 : statements.front().first.line_no,
+         "fault statements require 'reliable'");
   }
 
   ScriptResult result;
@@ -127,7 +155,7 @@ ScriptResult run_script(const std::string& text) {
   for (const auto& [st, raw] : statements) {
     const auto& w = st.words;
     if (w[0] == "sites" || w[0] == "doc" || w[0] == "latency" ||
-        w[0] == "no-transform") {
+        w[0] == "no-transform" || w[0] == "reliable" || w[0] == "fault") {
       continue;  // handled in pass 1
     }
     if (w[0] == "at") {
@@ -140,6 +168,20 @@ ScriptResult run_script(const std::string& text) {
         const auto site = static_cast<SiteId>(to_u64(st, w[3]));
         session.queue().schedule_at(
             t, [&session, site] { session.remove_client(site); });
+      } else if (w[2] == "down") {
+        if (w.size() != 4) fail(st.line_no, "at T down I");
+        const auto site = static_cast<SiteId>(to_u64(st, w[3]));
+        session.queue().schedule_at(
+            t, [&session, site] { session.disconnect_client(site); });
+      } else if (w[2] == "up") {
+        if (w.size() != 4) fail(st.line_no, "at T up I");
+        const auto site = static_cast<SiteId>(to_u64(st, w[3]));
+        session.queue().schedule_at(
+            t, [&session, site] { session.reconnect_client(site); });
+      } else if (w[2] == "crash-center") {
+        if (w.size() != 3) fail(st.line_no, "at T crash-center");
+        session.queue().schedule_at(t,
+                                    [&session] { session.crash_notifier(); });
       } else if (w[2] == "site") {
         if (w.size() < 5) fail(st.line_no, "at T site I insert|delete ...");
         const auto site = static_cast<SiteId>(to_u64(st, w[3]));

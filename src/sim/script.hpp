@@ -13,10 +13,20 @@
 //   doc TEXT                 — initial document (rest of line, may be empty)
 //   latency MS               — fixed one-way latency, both directions
 //   no-transform             — E8 ablation mode
+//   reliable                 — enable the reliability sublayer (required
+//                              for fault/down/crash-center statements)
+//   fault KIND P [WINDOW]    — inject faults on every channel, both
+//                              directions.  KIND ∈ drop|dup|corrupt|
+//                              reorder, P ∈ [0,1); reorder takes an
+//                              optional window in ms (default 50)
 //   at T site I insert P TEXT    — schedule Insert[TEXT, P] at sim-time T
 //   at T site I delete P N       — schedule Delete[N, P]
 //   at T join                    — a new site joins (its id is N+1, N+2, ...)
 //   at T leave I                 — site I departs
+//   at T down I                  — sever site I's links (partition)
+//   at T up I                    — heal them again
+//   at T crash-center            — crash-restart the notifier from its
+//                                  durable checkpoint + log
 //   run                      — deliver everything (drain the queue)
 //   expect-converged         — assert all active replicas identical
 //   expect-diverged          — assert they are NOT identical

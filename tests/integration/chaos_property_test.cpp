@@ -1,0 +1,169 @@
+// Chaos property test (ctest label: chaos).
+//
+// Drives full sessions through the fault injector at aggressive rates —
+// dropped, duplicated, corrupted, and reordered frames, one notifier
+// crash-restart and one client outage per run — and asserts the
+// recovery protocol heals everything: the run terminates, replicas
+// converge, every concurrency verdict matches the ground-truth oracle,
+// corruption is caught by the frame checksum (never decoded into
+// garbage), and the whole ordeal is reproducible from its seed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/chaos.hpp"
+#include "sim/intention.hpp"
+#include "util/rng.hpp"
+
+namespace ccvc::sim {
+namespace {
+
+net::FaultPlan chaos_faults() {
+  net::FaultPlan plan;
+  plan.drop_prob = 0.15;     // ≤ 20%
+  plan.dup_prob = 0.08;      // ≤ 10%
+  plan.corrupt_prob = 0.04;  // ≤ 5%
+  plan.reorder_prob = 0.10;
+  plan.reorder_window_ms = 80.0;
+  return plan;
+}
+
+ChaosConfig chaos_cfg(std::uint64_t seed) {
+  ChaosConfig cfg;
+  cfg.num_sites = 2 + seed % 7;  // sweeps N ∈ {2..8}
+  cfg.seed = seed;
+  cfg.uplink_faults = chaos_faults();
+  cfg.downlink_faults = chaos_faults();
+  cfg.workload.ops_per_site = 20;
+  cfg.workload.mean_think_ms = 25.0;
+  cfg.workload.hotspot_prob = 0.4;
+  cfg.checkpoint_every_ms = 200.0;   // durable checkpoints mid-flight
+  cfg.crash_notifier_at_ms = 260.0;  // one notifier crash-restart
+  cfg.disconnect_at_ms = 120.0;      // one client outage
+  cfg.reconnect_at_ms = 480.0;
+  cfg.disconnect_site = 1;
+  return cfg;
+}
+
+class ChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSweep, ConvergesWithOracleCleanVerdictsUnderFaults) {
+  const ChaosConfig cfg = chaos_cfg(GetParam());
+  const ChaosReport r = run_chaos(cfg);
+
+  // Liveness: retransmission actually drained everything.
+  ASSERT_TRUE(r.completed) << "stuck at t=" << r.sim_duration_ms;
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.verdict_mismatches, 0u);
+  EXPECT_GT(r.verdicts, 0u);
+
+  // The faults were real, and the protocol visibly fought them.
+  EXPECT_GT(r.faults.dropped, 0u);
+  EXPECT_GT(r.faults.duplicated, 0u);
+  EXPECT_GT(r.links.retransmits, 0u);
+  EXPECT_GT(r.links.duplicates, 0u);
+  EXPECT_EQ(r.notifier_crashes, 1u);
+
+  // Corruption is *detected* — a corrupted frame is rejected by its
+  // CRC and healed by retransmission, never decoded into garbage.
+  if (r.faults.corrupted > 0) {
+    EXPECT_GT(r.links.checksum_rejects, 0u);
+  }
+}
+
+TEST_P(ChaosSweep, RunsAreReproducibleFromTheSeed) {
+  const ChaosConfig cfg = chaos_cfg(GetParam());
+  const ChaosReport a = run_chaos(cfg);
+  const ChaosReport b = run_chaos(cfg);
+  EXPECT_EQ(a.final_doc, b.final_doc);
+  EXPECT_EQ(a.ops_generated, b.ops_generated);
+  EXPECT_EQ(a.verdicts, b.verdicts);
+  EXPECT_EQ(a.sim_duration_ms, b.sim_duration_ms);
+  EXPECT_EQ(a.faults.dropped, b.faults.dropped);
+  EXPECT_EQ(a.faults.duplicated, b.faults.duplicated);
+  EXPECT_EQ(a.faults.corrupted, b.faults.corrupted);
+  EXPECT_EQ(a.faults.reordered, b.faults.reordered);
+  EXPECT_EQ(a.links.data_sent, b.links.data_sent);
+  EXPECT_EQ(a.links.retransmits, b.links.retransmits);
+  EXPECT_EQ(a.links.delivered, b.links.delivered);
+  EXPECT_EQ(a.links.checksum_rejects, b.links.checksum_rejects);
+}
+
+TEST_P(ChaosSweep, ClientCrashRestartUnderFaultsStillConverges) {
+  ChaosConfig cfg = chaos_cfg(GetParam() + 100);
+  cfg.restart_client_at_ms = 320.0;
+  cfg.restart_site = 2;
+  if (cfg.num_sites < 2) cfg.num_sites = 2;
+  const ChaosReport r = run_chaos(cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.verdict_mismatches, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u));
+
+TEST(ChaosIntention, FaultsDoNotErodeIntentionPreservation) {
+  // The all-concurrent single-op instance whose intention-preserved
+  // merge is computable without OT (sim/intention.hpp), now run over
+  // drop/dup/corrupt/reorder channels with a notifier crash in the
+  // middle: faults may delay the merge, never change it.
+  util::Rng rng(0xC4A05);
+  for (int iter = 0; iter < 15; ++iter) {
+    const std::size_t sites = 2 + rng.index(6);  // 2..7
+    std::string base(8 + rng.index(16), 'x');
+    for (auto& c : base) c = static_cast<char>('a' + rng.index(26));
+
+    std::vector<IntentionOp> ops;
+    for (SiteId i = 1; i <= sites; ++i) {
+      IntentionOp op;
+      op.site = i;
+      op.is_insert = rng.chance(0.6);
+      if (op.is_insert) {
+        op.pos = rng.index(base.size() + 1);
+        op.text = std::string(1 + rng.index(3),
+                              static_cast<char>('A' + (i - 1)));
+      } else {
+        op.count = 1 + rng.index(std::min<std::size_t>(base.size(), 5));
+        op.pos = rng.index(base.size() - op.count + 1);
+      }
+      ops.push_back(op);
+    }
+
+    engine::StarSessionConfig cfg;
+    cfg.num_sites = sites;
+    cfg.initial_doc = base;
+    cfg.uplink = net::LatencyModel::uniform(5.0, 80.0);
+    cfg.downlink = net::LatencyModel::uniform(5.0, 80.0);
+    cfg.reliability.enabled = true;
+    cfg.uplink_faults = chaos_faults();
+    cfg.downlink_faults = chaos_faults();
+    cfg.seed = 1000u + static_cast<std::uint64_t>(iter);
+    engine::StarSession session(cfg);
+
+    // All ops issued before any message travels: pairwise concurrent,
+    // whatever the network later does to the frames.
+    for (const auto& op : ops) {
+      if (op.is_insert) {
+        session.client(op.site).insert(op.pos, op.text);
+      } else {
+        session.client(op.site).erase(op.pos, op.count);
+      }
+    }
+    // A crash mid-propagation: acked ops are in the durable log, unacked
+    // ones are retransmitted by their clients — none may be lost.
+    session.queue().schedule_at(40.0, [&session] { session.crash_notifier(); });
+    session.run_to_quiescence();
+
+    ASSERT_TRUE(session.converged()) << "iter " << iter;
+    const std::string verdict =
+        check_intention_merge(base, ops, session.notifier().text());
+    EXPECT_EQ(verdict, "")
+        << "merged=\"" << session.notifier().text() << "\" base=\"" << base
+        << "\" iter=" << iter << " sites=" << sites;
+  }
+}
+
+}  // namespace
+}  // namespace ccvc::sim

@@ -7,6 +7,7 @@
 
 #include "engine/mesh_site.hpp"
 #include "engine/message.hpp"
+#include "engine/reliable_link.hpp"
 #include "util/rng.hpp"
 
 namespace ccvc::engine {
@@ -60,6 +61,44 @@ TEST(CodecFuzz, MeshMsgBothModes) {
   fuzz([](const net::Payload& b) {
     (void)decode_mesh_msg(b, MeshStamp::kSkDiff);
   }, 5);
+}
+
+TEST(CodecFuzz, ReliabilityFrames) {
+  // The frame decoder is the outermost parser on a faulty channel —
+  // it sees corrupted bytes *by design* (the fault model flips bits).
+  // The CRC makes random bytes essentially unparseable: a 32-bit check
+  // over random input passes with probability 2^-32.
+  util::Rng rng(6);
+  int parsed = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const net::Payload bytes = random_bytes(rng, 64);
+    try {
+      (void)decode_frame(bytes);
+      ++parsed;
+    } catch (const util::DecodeError&) {
+    }
+  }
+  EXPECT_EQ(parsed, 0);
+}
+
+TEST(CodecFuzz, CorruptedFramesAreRejectedNotMisparsed) {
+  // Single-byte corruption — exactly what the fault injector applies —
+  // must always be rejected: a ≤ 8-bit burst is within CRC-32's
+  // guaranteed detection range, so acceptance would be a codec bug.
+  Frame f;
+  f.kind = Frame::Kind::kData;
+  f.seq = 900;
+  f.ack = 77;
+  f.payload = {0xC1, 0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x42};
+  const net::Payload wire = encode_frame(f);
+  for (std::size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      net::Payload mutated = wire;
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_THROW((void)decode_frame(mutated), util::DecodeError)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
 }
 
 TEST(CodecFuzz, TruncatedRealMessagesFail) {

@@ -2,13 +2,21 @@
 // checks (5) and (7) *from* the star topology plus "the FIFO property of
 // TCP connections"; the acknowledgement counters the control algorithm
 // uses assume the same.  Running the identical sessions over unordered
-// (datagram-like) channels must break the protocol in an observable way
-// — transformation against the wrong set, out-of-bounds application
-// (ContractViolation from strict apply), or divergence.
+// (datagram-like) channels must break the protocol with a *specific*
+// signature: the compressed concurrency checks return verdicts the
+// ground-truth causality oracle refutes (misclassified concurrency),
+// and downstream of those wrong verdicts the run either throws a
+// contract violation or diverges.
+//
+// The reliability sublayer exists to close exactly this gap: its
+// sequence numbers re-impose FIFO over the same unordered channels, and
+// the identical sessions become flawless again.
 #include <gtest/gtest.h>
 
 #include "engine/session.hpp"
-#include "sim/runner.hpp"
+#include "sim/observers.hpp"
+#include "sim/oracle.hpp"
+#include "sim/workload.hpp"
 #include "util/check.hpp"
 
 namespace ccvc::sim {
@@ -17,9 +25,14 @@ namespace {
 struct Outcome {
   bool threw = false;
   bool converged = false;
+  std::uint64_t verdicts = 0;
+  std::uint64_t mismatches = 0;  // verdicts the causality oracle refutes
+  std::uint64_t reordered = 0;   // frames the reliability layer resequenced
+
+  bool broke() const { return threw || !converged || mismatches > 0; }
 };
 
-Outcome run_once(net::Ordering ordering, std::uint64_t seed) {
+Outcome run_once(net::Ordering ordering, std::uint64_t seed, bool reliable) {
   engine::StarSessionConfig cfg;
   cfg.num_sites = 4;
   cfg.initial_doc = "fifo is load bearing in this protocol";
@@ -28,11 +41,11 @@ Outcome run_once(net::Ordering ordering, std::uint64_t seed) {
   cfg.uplink = net::LatencyModel::uniform(1.0, 400.0);
   cfg.downlink = net::LatencyModel::uniform(1.0, 400.0);
   cfg.seed = seed;
+  cfg.reliability.enabled = reliable;
   // The fidelity cross-check would (correctly) fire first under
-  // reordering; disable it to let the raw protocol show its failure
-  // modes instead.
+  // reordering; disable it so the verdict stream itself shows the
+  // failure.  Verdict logging stays ON — the oracle needs it.
   cfg.engine.check_fidelity = false;
-  cfg.engine.log_verdicts = false;
 
   WorkloadConfig w;
   w.ops_per_site = 30;
@@ -40,29 +53,61 @@ Outcome run_once(net::Ordering ordering, std::uint64_t seed) {
   w.hotspot_prob = 0.5;
   w.seed = seed + 5;
 
+  ObserverMux mux;
+  CausalityOracle oracle(cfg.num_sites, cfg.engine.transform);
+  mux.add(&oracle);
+  engine::StarSession session(cfg, &mux);
+  StarWorkload workload(session, w);
+  workload.start();
+
   Outcome out;
   try {
-    const StarRunReport r = run_star(cfg, w);
-    out.converged = r.converged;
+    session.run_to_quiescence();
+    out.converged = session.converged();
   } catch (const ContractViolation&) {
     out.threw = true;
   }
+  // Readable even after a mid-run throw — that is why this drives the
+  // session directly instead of through run_star().
+  out.verdicts = oracle.verdicts_checked();
+  out.mismatches = oracle.verdict_mismatches();
+  if (reliable) out.reordered = session.link_stats().reordered;
   return out;
 }
 
-TEST(FifoRequirement, UnorderedChannelsBreakTheProtocol) {
+TEST(FifoRequirement, UnorderedChannelsCorruptTheConcurrencyVerdicts) {
   int failures = 0;
+  std::uint64_t total_mismatches = 0;
   for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
     // Control arm: the same seeds over FIFO channels are flawless.
-    const Outcome fifo = run_once(net::Ordering::kFifo, seed);
+    const Outcome fifo = run_once(net::Ordering::kFifo, seed, false);
     EXPECT_FALSE(fifo.threw) << seed;
     EXPECT_TRUE(fifo.converged) << seed;
+    EXPECT_EQ(fifo.mismatches, 0u) << seed;
+    EXPECT_GT(fifo.verdicts, 0u) << seed;
 
-    const Outcome udp = run_once(net::Ordering::kUnordered, seed);
-    if (udp.threw || !udp.converged) ++failures;
+    const Outcome udp = run_once(net::Ordering::kUnordered, seed, false);
+    if (udp.broke()) ++failures;
+    total_mismatches += udp.mismatches;
   }
-  // Reordering must be observably fatal for most seeds at this load.
+  // Reordering must be observably fatal for most seeds at this load...
   EXPECT_GE(failures, 3);
+  // ...and the root cause must show: verdicts the ground-truth oracle
+  // refutes, not just some generic crash.
+  EXPECT_GT(total_mismatches, 0u);
+}
+
+TEST(FifoRequirement, ReliabilityLayerRestoresCorrectnessOverUnordered) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const Outcome out = run_once(net::Ordering::kUnordered, seed, true);
+    EXPECT_FALSE(out.threw) << seed;
+    EXPECT_TRUE(out.converged) << seed;
+    EXPECT_EQ(out.mismatches, 0u) << seed;
+    EXPECT_GT(out.verdicts, 0u) << seed;
+    // The channels really did scramble frames; the sequence numbers
+    // unscrambled them.
+    EXPECT_GT(out.reordered, 0u) << seed;
+  }
 }
 
 }  // namespace

@@ -1,116 +1,22 @@
-// Intention-preservation oracle for the all-concurrent case.
+// Intention-preservation sweep for the all-concurrent case.
 //
-// When every site issues exactly one operation simultaneously (pairwise
-// concurrent), the intention-preserved merge is directly computable
-// without any OT:
-//   * a delete removes exactly its original characters (overlaps remove
-//     each character once);
-//   * an insert anchored at original position p appears immediately
-//     before the first *surviving* original character at or after p
-//     (its "slot"), contiguously and exactly once;
-//   * inserts sharing the same *anchor* are ordered by site priority
-//     (the deterministic II tie-break);
-//   * inserts with different anchors collapsed into one slot by a
-//     concurrent deletion may appear in either order — that order is
-//     decided by the notifier's serialization (the same path-dependence
-//     tp2_test documents), and all replicas agree on it.
-// The engine's converged result must satisfy this oracle for every
-// random instance — an end-to-end check of §2's intention-preservation
+// The oracle itself — the direct computation of the intention-preserved
+// merge when every site issues exactly one pairwise-concurrent op —
+// lives in sim/intention.hpp (shared with the chaos harness).  This
+// sweep checks the engine's converged result against it for random
+// instances: an end-to-end check of §2's intention-preservation
 // requirement that does not reuse any transformation code.
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <map>
 #include <vector>
 
 #include "engine/session.hpp"
+#include "sim/intention.hpp"
 #include "util/rng.hpp"
 
 namespace ccvc::sim {
 namespace {
-
-struct SingleOp {
-  SiteId site = 0;
-  bool is_insert = true;
-  std::size_t pos = 0;
-  std::string text;       // insert payload
-  std::size_t count = 0;  // delete length
-};
-
-/// Checks `merged` against the oracle; returns an empty string on
-/// success, else a diagnostic.
-std::string check_merge(const std::string& base,
-                        const std::vector<SingleOp>& ops,
-                        const std::string& merged) {
-  std::vector<bool> deleted(base.size(), false);
-  for (const auto& op : ops) {
-    if (!op.is_insert) {
-      for (std::size_t k = 0; k < op.count; ++k) deleted[op.pos + k] = true;
-    }
-  }
-  std::string survivors;
-  for (std::size_t k = 0; k < base.size(); ++k) {
-    if (!deleted[k]) survivors.push_back(base[k]);
-  }
-
-  auto slot_of = [&](std::size_t pos) {
-    std::size_t s = 0;
-    for (std::size_t k = 0; k < pos; ++k) {
-      if (!deleted[k]) ++s;
-    }
-    return s;
-  };
-
-  // Split `merged` into per-slot insert segments around the survivors.
-  // Inserted characters are uppercase; base characters lowercase, so the
-  // survivor walk is unambiguous.
-  std::vector<std::string> segments(survivors.size() + 1);
-  std::size_t next_survivor = 0;
-  for (const char c : merged) {
-    if (next_survivor < survivors.size() && c == survivors[next_survivor] &&
-        (c < 'A' || c > 'Z')) {
-      ++next_survivor;
-    } else {
-      segments[next_survivor].push_back(c);
-    }
-  }
-  if (next_survivor != survivors.size()) {
-    return "survivor characters missing or reordered";
-  }
-
-  // Each insert must appear exactly once, contiguously, in its slot.
-  std::map<std::size_t, std::vector<const SingleOp*>> by_slot;
-  for (const auto& op : ops) {
-    if (op.is_insert) by_slot[slot_of(op.pos)].push_back(&op);
-  }
-  for (std::size_t s = 0; s <= survivors.size(); ++s) {
-    const auto it = by_slot.find(s);
-    const std::string& seg = segments[s];
-    if (it == by_slot.end()) {
-      if (!seg.empty()) return "unexpected insert text in slot";
-      continue;
-    }
-    // Record each block's offset within the segment.
-    std::size_t expected_len = 0;
-    std::vector<std::pair<const SingleOp*, std::size_t>> offsets;
-    for (const SingleOp* op : it->second) {
-      const std::size_t at = seg.find(op->text);
-      if (at == std::string::npos) return "insert text missing from slot";
-      offsets.emplace_back(op, at);
-      expected_len += op->text.size();
-    }
-    if (seg.size() != expected_len) return "stray characters in slot";
-    // Same-anchor groups must be in site order.
-    for (const auto& [a, a_off] : offsets) {
-      for (const auto& [b, b_off] : offsets) {
-        if (a->pos == b->pos && a->site < b->site && a_off > b_off) {
-          return "same-anchor inserts out of site order";
-        }
-      }
-    }
-  }
-  return "";
-}
 
 class IntentionOracleSweep : public ::testing::TestWithParam<std::uint64_t> {
 };
@@ -122,9 +28,9 @@ TEST_P(IntentionOracleSweep, ConcurrentSingleOpsMergePerOracle) {
     std::string base(8 + rng.index(16), 'x');
     for (auto& c : base) c = static_cast<char>('a' + rng.index(26));
 
-    std::vector<SingleOp> ops;
+    std::vector<IntentionOp> ops;
     for (SiteId i = 1; i <= sites; ++i) {
-      SingleOp op;
+      IntentionOp op;
       op.site = i;
       op.is_insert = rng.chance(0.6);
       if (op.is_insert) {
@@ -160,7 +66,7 @@ TEST_P(IntentionOracleSweep, ConcurrentSingleOpsMergePerOracle) {
 
     ASSERT_TRUE(session.converged());
     const std::string verdict =
-        check_merge(base, ops, session.notifier().text());
+        check_intention_merge(base, ops, session.notifier().text());
     EXPECT_EQ(verdict, "")
         << "merged=\"" << session.notifier().text() << "\" base=\"" << base
         << "\" seed=" << GetParam() << " iter=" << iter

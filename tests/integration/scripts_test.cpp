@@ -109,6 +109,43 @@ TEST(Scripts, EmptyInitialDoc) {
   )");
 }
 
+TEST(Scripts, ChaosPartitionScenario) {
+  // Mirrors scenarios/chaos_partition.txt: lossy/duplicating/corrupting
+  // channels, a partitioned client, and a notifier crash — the
+  // reliability sublayer heals all of it.
+  const ScriptResult r = run_script(R"(
+    sites 3
+    doc abcdef
+    latency 20
+    reliable
+    fault drop 0.15
+    fault dup 0.05
+    fault corrupt 0.03
+    at 0   site 1 insert 0 X
+    at 10  site 2 insert 6 Y
+    at 30  down 2
+    at 40  site 3 insert 3 Z
+    at 60  site 2 insert 0 W
+    at 200 up 2
+    at 300 crash-center
+    run
+    expect-converged
+  )");
+  for (const auto& f : r.failures) ADD_FAILURE() << f;
+  EXPECT_TRUE(r.passed);
+  // The faults were real.
+  EXPECT_GT(r.session->network().total_fault_stats().injected() +
+                r.session->network().total_fault_stats().dropped_down,
+            0u);
+  EXPECT_EQ(r.session->notifier_crashes(), 1u);
+}
+
+TEST(Scripts, FaultStatementsRequireReliable) {
+  EXPECT_THROW(run_script("fault drop 0.5"), ScriptError);
+  EXPECT_THROW(run_script("reliable\nfault warp 0.5"), ScriptError);
+  EXPECT_THROW(run_script("reliable\nfault drop 1.5"), ScriptError);
+}
+
 TEST(Scripts, FailedExpectationIsReportedNotThrown) {
   const ScriptResult r = run_script(R"(
     sites 2

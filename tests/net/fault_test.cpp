@@ -1,0 +1,184 @@
+// Fault-injection semantics of net::Channel: deterministic seeded
+// faults, down windows, connection resets, and the guarantee that a
+// channel with no plan draws no fault randomness (fault-free runs stay
+// byte-identical to the pre-fault simulator).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/event_queue.hpp"
+#include "net/fault.hpp"
+#include "net/latency.hpp"
+#include "util/rng.hpp"
+
+namespace ccvc::net {
+namespace {
+
+Payload msg(std::uint8_t tag) { return Payload{tag, 1, 2, 3}; }
+
+struct Harness {
+  EventQueue queue;
+  Channel ch;
+  std::vector<Payload> received;
+
+  explicit Harness(std::uint64_t seed,
+                   LatencyModel latency = LatencyModel::fixed(10.0))
+      : ch(queue, latency, util::Rng(seed), "a->b") {
+    ch.set_receiver([this](const Payload& p) { received.push_back(p); });
+  }
+};
+
+TEST(FaultPlan, InactiveByDefault) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.active());
+  plan.drop_prob = 0.1;
+  EXPECT_TRUE(plan.active());
+}
+
+TEST(FaultPlan, DownWindowsAreHalfOpen) {
+  FaultPlan plan;
+  plan.down.push_back({100.0, 200.0});
+  EXPECT_TRUE(plan.active());
+  EXPECT_FALSE(plan.is_down_at(99.9));
+  EXPECT_TRUE(plan.is_down_at(100.0));
+  EXPECT_TRUE(plan.is_down_at(199.9));
+  EXPECT_FALSE(plan.is_down_at(200.0));
+}
+
+TEST(FaultChannel, DropsAreDeterministicPerSeed) {
+  auto count_delivered = [](std::uint64_t seed) {
+    Harness h(seed);
+    FaultPlan plan;
+    plan.drop_prob = 0.3;
+    h.ch.set_fault_plan(plan);
+    for (std::uint8_t i = 0; i < 100; ++i) h.ch.send(msg(i));
+    h.queue.run();
+    return h.received.size();
+  };
+  const std::size_t first = count_delivered(42);
+  EXPECT_EQ(first, count_delivered(42));  // reproducible
+  EXPECT_LT(first, 100u);                 // some drops happened
+  EXPECT_GT(first, 40u);                  // but nowhere near all
+}
+
+TEST(FaultChannel, StatsAccountForEveryInjection) {
+  Harness h(7);
+  FaultPlan plan;
+  plan.drop_prob = 0.2;
+  plan.dup_prob = 0.2;
+  plan.corrupt_prob = 0.2;
+  plan.reorder_prob = 0.2;
+  h.ch.set_fault_plan(plan);
+  for (std::uint8_t i = 0; i < 200; ++i) h.ch.send(msg(i));
+  h.queue.run();
+  const FaultStats& s = h.ch.fault_stats();
+  EXPECT_GT(s.dropped, 0u);
+  EXPECT_GT(s.duplicated, 0u);
+  EXPECT_GT(s.corrupted, 0u);
+  EXPECT_GT(s.reordered, 0u);
+  EXPECT_GT(s.injected(), 0u);
+  // Conservation: everything sent either delivered or was dropped
+  // (duplicates add deliveries).
+  EXPECT_EQ(h.received.size(), 200u - s.dropped + s.duplicated);
+}
+
+TEST(FaultChannel, CorruptionFlipsBitsButKeepsLength) {
+  Harness h(11);
+  FaultPlan plan;
+  plan.corrupt_prob = 1.0;  // every message mangled
+  h.ch.set_fault_plan(plan);
+  const Payload original = msg(0xAB);
+  h.ch.send(original);
+  h.queue.run();
+  ASSERT_EQ(h.received.size(), 1u);
+  EXPECT_EQ(h.received[0].size(), original.size());
+  EXPECT_NE(h.received[0], original);
+}
+
+TEST(FaultChannel, AdministrativeDownLosesSends) {
+  Harness h(3);
+  FaultPlan plan;
+  plan.drop_prob = 0.0;  // plan present but harmless
+  plan.dup_prob = 0.0;
+  h.ch.set_fault_plan(plan);
+  h.ch.send(msg(1));
+  h.ch.set_down(true);
+  h.ch.send(msg(2));
+  h.ch.send(msg(3));
+  h.ch.set_down(false);
+  h.ch.send(msg(4));
+  h.queue.run();
+  ASSERT_EQ(h.received.size(), 2u);
+  EXPECT_EQ(h.received[0], msg(1));
+  EXPECT_EQ(h.received[1], msg(4));
+  EXPECT_EQ(h.ch.fault_stats().dropped_down, 2u);
+}
+
+TEST(FaultChannel, PlannedDownWindowLosesSends) {
+  Harness h(3);
+  FaultPlan plan;
+  plan.down.push_back({5.0, 15.0});
+  h.ch.set_fault_plan(plan);
+  h.ch.send(msg(1));  // t=0: before the window
+  h.queue.schedule_at(10.0, [&h] { h.ch.send(msg(2)); });  // inside
+  h.queue.schedule_at(20.0, [&h] { h.ch.send(msg(3)); });  // after
+  h.queue.run();
+  ASSERT_EQ(h.received.size(), 2u);
+  EXPECT_EQ(h.received[0], msg(1));
+  EXPECT_EQ(h.received[1], msg(3));
+  EXPECT_EQ(h.ch.fault_stats().dropped_down, 1u);
+}
+
+TEST(FaultChannel, DropInFlightVoidsScheduledDeliveries) {
+  Harness h(9);
+  h.ch.send(msg(1));
+  h.ch.send(msg(2));
+  h.queue.schedule_at(5.0, [&h] { h.ch.drop_in_flight(); });
+  // Sent after the reset: survives.
+  h.queue.schedule_at(6.0, [&h] { h.ch.send(msg(3)); });
+  h.queue.run();
+  ASSERT_EQ(h.received.size(), 1u);
+  EXPECT_EQ(h.received[0], msg(3));
+  EXPECT_EQ(h.ch.fault_stats().dropped_reset, 2u);
+}
+
+TEST(FaultChannel, ReorderCanInvertDeliveryOrder) {
+  // With reorder_prob = 1 every delivery takes an extra random slip and
+  // ignores the FIFO clamp; over enough sends an inversion must appear.
+  Harness h(21);
+  FaultPlan plan;
+  plan.reorder_prob = 1.0;
+  plan.reorder_window_ms = 100.0;
+  h.ch.set_fault_plan(plan);
+  for (std::uint8_t i = 0; i < 50; ++i) h.ch.send(msg(i));
+  h.queue.run();
+  ASSERT_EQ(h.received.size(), 50u);
+  bool inverted = false;
+  for (std::size_t i = 1; i < h.received.size(); ++i) {
+    if (h.received[i][0] < h.received[i - 1][0]) inverted = true;
+  }
+  EXPECT_TRUE(inverted);
+}
+
+TEST(FaultChannel, NoPlanDrawsNoFaultRandomness) {
+  // Byte-identical delivery schedule with and without an *inactive*
+  // fault plan installed: the fault path must not consume RNG draws
+  // unless the plan is active.
+  auto deliveries = [](bool install_empty_plan) {
+    Harness h(5, LatencyModel::uniform(1.0, 50.0));
+    if (install_empty_plan) h.ch.set_fault_plan(FaultPlan{});
+    std::vector<std::pair<double, Payload>> log;
+    h.ch.set_receiver([&h, &log](const Payload& p) {
+      log.emplace_back(h.queue.now(), p);
+    });
+    for (std::uint8_t i = 0; i < 30; ++i) h.ch.send(msg(i));
+    h.queue.run();
+    return log;
+  };
+  EXPECT_EQ(deliveries(false), deliveries(true));
+}
+
+}  // namespace
+}  // namespace ccvc::net

@@ -1,0 +1,50 @@
+#include "util/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccvc::util {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+TEST(Crc32, KnownVectors) {
+  // The standard CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) check
+  // value for "123456789".
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(bytes_of("")), 0x00000000u);
+  EXPECT_EQ(crc32(bytes_of("a")), 0xE8B7BE43u);
+}
+
+TEST(Crc32, ChainingEqualsOneShot) {
+  const auto all = bytes_of("the quick brown fox");
+  const auto head = bytes_of("the quick ");
+  const auto tail = bytes_of("brown fox");
+  const std::uint32_t chained = crc32(tail, crc32(head));
+  EXPECT_EQ(chained, crc32(all));
+}
+
+TEST(Crc32, DetectsEverySingleByteFlip) {
+  const auto base = bytes_of("compressed vector clock");
+  const std::uint32_t want = crc32(base);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutated = base;
+      mutated[i] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc32(mutated), want) << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32, PointerOverloadMatchesVectorOverload) {
+  const auto v = bytes_of("xyz");
+  EXPECT_EQ(crc32(v.data(), v.size()), crc32(v));
+}
+
+}  // namespace
+}  // namespace ccvc::util

@@ -28,6 +28,15 @@ Enforces invariants generic tools cannot express:
                      verified by a -fsyntax-only compile of a one-line
                      TU per header.
 
+  raw-channel-send   Engine code (src/engine/) must not call
+                     Channel::send directly: a raw send bypasses the
+                     reliability sublayer's sequencing/retransmission,
+                     silently losing its exactly-once guarantee when
+                     fault injection is on.  Route through a
+                     ReliableLink (or the session's dispatch lambdas,
+                     which switch on cfg.reliability.enabled and carry
+                     explicit allow pragmas on their legacy branch).
+
 A finding can be suppressed for one line with a trailing comment:
     do_thing();  // ccvc-lint: allow(<rule>) <justification>
 
@@ -49,6 +58,7 @@ RULES = (
     "paper-index",
     "self-include-first",
     "include-hygiene",
+    "raw-channel-send",
 )
 
 # Files allowed to print: the observer/presentation layer.
@@ -69,6 +79,11 @@ PAPER_INDEX_RE = re.compile(
     r"at\s*\(\s*(\d+)\s*\)"
 )
 ALLOW_RE = re.compile(r"ccvc-lint:\s*allow\(([a-z\-]+)\)")
+# A channel accessor (net_.channel(i, j) / some channel-named variable)
+# immediately followed by .send(...).
+RAW_CHANNEL_SEND_RE = re.compile(
+    r"\bchannel\w*\s*(?:\([^()]*\))?\s*(?:\.|->)\s*send\s*\("
+)
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -157,6 +172,13 @@ class Linter:
                     self.report(path, lineno, "iostream-library",
                                 "library code must not print; route output "
                                 "through an observer")
+
+            if rel.startswith("src/engine/") and RAW_CHANNEL_SEND_RE.search(line):
+                if "raw-channel-send" not in allowed:
+                    self.report(path, lineno, "raw-channel-send",
+                                "engine code must not call Channel::send "
+                                "directly — route through the reliability "
+                                "sublayer (ReliableLink)")
 
             for m in PAPER_INDEX_RE.finditer(line):
                 if int(m.group(1)) not in (1, 2):

@@ -12,6 +12,7 @@ script twice produces identical files.  Run from anywhere:
 from __future__ import annotations
 
 import pathlib
+import zlib
 
 
 def uvarint(v: int) -> bytes:
@@ -67,6 +68,20 @@ def leave_msg(site: int) -> bytes:
     return bytes([0xC4]) + uvarint(site)
 
 
+def framed(body: bytes) -> bytes:
+    """Appends the trailing CRC-32 (little-endian) of the reliability
+    frame codec; zlib.crc32 is the same reflected 0xEDB88320 CRC."""
+    return body + zlib.crc32(body).to_bytes(4, "little")
+
+
+def data_frame(seq: int, ack: int, payload: bytes) -> bytes:
+    return framed(bytes([0xF0]) + uvarint(seq) + uvarint(ack) + payload)
+
+
+def ack_frame(ack: int) -> bytes:
+    return framed(bytes([0xF1]) + uvarint(ack))
+
+
 SEEDS = {
     "varint": {
         "zero": uvarint(0),
@@ -103,6 +118,19 @@ SEEDS = {
             1, 1, vv_stamp([0, 2, 0, 1]), op_list(prim_identity(1))
         ),
         "leave": leave_msg(5),
+    },
+    "frame": {
+        "data_first": data_frame(1, 0, b""),
+        "data_piggyback": data_frame(
+            9,
+            4,
+            client_msg(2, 9, csv_stamp(5, 3), op_list(prim_insert(2, 0, b"hi"))),
+        ),
+        "data_large_seq": data_frame((1 << 40) + 3, (1 << 40), b"x" * 20),
+        "ack_zero": ack_frame(0),
+        "ack_large": ack_frame(123456789),
+        "bad_crc": data_frame(1, 0, b"ok")[:-1]
+        + bytes([data_frame(1, 0, b"ok")[-1] ^ 0xFF]),
     },
 }
 
