@@ -12,7 +12,7 @@
 //   // session.converged() && session.notifier().text() == "A12B"
 //
 // Layer map (bottom-up):
-//   ccvc::util    — rng, varint codec, stats, tables
+//   ccvc::util    — rng, varint codec, stats, tables, metrics, trace
 //   ccvc::clocks  — version vectors, SK diffs, FZ dependency logs, and
 //                   the paper's compressed state vectors + formulas
 //   ccvc::ot      — text operations, inclusion/exclusion transformation
@@ -50,8 +50,10 @@
 #include "sim/script.hpp"
 #include "sim/workload.hpp"
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 #include "util/types.hpp"
 #include "util/varint.hpp"

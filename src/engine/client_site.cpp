@@ -5,6 +5,7 @@
 
 #include "ot/transform.hpp"
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 
 namespace ccvc::engine {
 
@@ -156,6 +157,9 @@ OpId ClientSite::generate(ot::OpList ops) {
   msg.stamp.csv = stamp;
   msg.stamp.full = vc_;
   net::Payload bytes = encode(msg, cfg_.stamp_mode);
+  CCVC_METRIC_COUNT("engine.client.ops_generated", 1);
+  CCVC_METRIC_HIST("engine.wire.stamp_bytes",
+                   stamp_wire_size(msg.stamp, cfg_.stamp_mode));
   if (observer_) {
     observer_->on_wire(id_, kNotifierSite, bytes.size(),
                        stamp_wire_size(msg.stamp, cfg_.stamp_mode));
@@ -218,6 +222,8 @@ void ClientSite::on_center_message(const net::Payload& bytes) {
     // §2.3: transform the remote operation against concurrent local
     // operations; symmetrically update them so the pending list stays in
     // the post-O' context for the next incoming message.
+    CCVC_METRIC_COUNT("engine.client.transforms", pending_.size());
+    CCVC_METRIC_HIST("engine.client.transform_path_len", pending_.size());
     for (auto& p : pending_) {
       auto [inc_next, p_next] = ot::transform(incoming, p.ops);
       incoming = std::move(inc_next);
@@ -230,6 +236,7 @@ void ClientSite::on_center_message(const net::Payload& bytes) {
   }
 
   // §3.2 rule 2; §3.3: buffer O' with its propagation timestamp.
+  CCVC_METRIC_COUNT("engine.client.ops_executed_remote", 1);
   clock_.on_center_op_executed();
   if (cfg_.stamp_mode == StampMode::kFullVector) vc_.merge(msg.stamp.full);
   hb_.push_back(ClientHbEntry{msg.id, clocks::HbSource::kFromCenter,

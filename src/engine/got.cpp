@@ -2,6 +2,7 @@
 
 #include "ot/transform.hpp"
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 
 namespace ccvc::engine {
 
@@ -15,11 +16,14 @@ std::optional<ot::OpList> got_transform(const std::vector<GotHbItem>& hb,
       break;
     }
   }
+  CCVC_METRIC_COUNT("engine.got.invocations", 1);
   if (c1 == hb.size()) {
     // Everything executed is in O's context: execute as-is (§2.3).
+    CCVC_METRIC_HIST("engine.got.path_len", 0);
     return o;
   }
 
+  std::uint64_t steps = 0;  // exclude/include transformations applied
   try {
     // Step 2: convert the causally-preceding suffix members into the
     // HB[0..c1) context.
@@ -31,10 +35,12 @@ std::optional<ot::OpList> got_transform(const std::vector<GotHbItem>& hb,
       // first).
       for (std::size_t j = k; j-- > c1;) {
         form = ot::exclude_list(form, hb[j].executed);
+        ++steps;
       }
       // Re-include the already-converted causal chain.
       for (const auto& prior : converted) {
         form = ot::include_list(form, prior);
+        ++steps;
       }
       converted.push_back(std::move(form));
     }
@@ -43,14 +49,18 @@ std::optional<ot::OpList> got_transform(const std::vector<GotHbItem>& hb,
     ot::OpList out = o;
     for (auto it = converted.rbegin(); it != converted.rend(); ++it) {
       out = ot::exclude_list(out, *it);
+      ++steps;
     }
     // ...and include the whole executed suffix.
     for (std::size_t k = c1; k < hb.size(); ++k) {
       out = ot::include_list(out, hb[k].executed);
+      ++steps;
     }
+    CCVC_METRIC_HIST("engine.got.path_len", steps);
     return out;
   } catch (const ContractViolation&) {
     // An exclusion was undefined — GOT's documented partiality.
+    CCVC_METRIC_COUNT("engine.got.undefined", 1);
     return std::nullopt;
   }
 }

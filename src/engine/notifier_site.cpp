@@ -4,6 +4,7 @@
 
 #include "ot/transform.hpp"
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 
 namespace ccvc::engine {
 
@@ -193,6 +194,8 @@ void NotifierSite::on_client_message(SiteId from, const net::Payload& bytes) {
     // Transform Oa against the concurrent operations, symmetrically
     // updating their bridge forms (they must end in the post-Oa context
     // for the next message from this client).
+    CCVC_METRIC_COUNT("engine.notifier.transforms", bridge.size());
+    CCVC_METRIC_HIST("engine.notifier.transform_path_len", bridge.size());
     for (auto& b : bridge) {
       auto [inc_next, b_next] = ot::transform(incoming, b.ops);
       incoming = std::move(inc_next);
@@ -205,6 +208,7 @@ void NotifierSite::on_client_message(SiteId from, const net::Payload& bytes) {
 
   // §3.2: SV_0[from] += 1.  The executed (transformed) form O' counts as
   // an operation generated at site 0 (§5).
+  CCVC_METRIC_COUNT("engine.notifier.ops_executed", 1);
   clock_.on_op_from(from);
   if (cfg_.stamp_mode == StampMode::kFullVector) {
     vc_.merge(msg.stamp.full);
@@ -236,6 +240,9 @@ void NotifierSite::on_client_message(SiteId from, const net::Payload& bytes) {
     // Σ_{j≠dest} SV_0[j].
     CCVC_CHECK(out.stamp.csv.from_center == enqueued_[dest]);
     net::Payload out_bytes = encode(out, cfg_.stamp_mode);
+    CCVC_METRIC_COUNT("engine.notifier.broadcasts", 1);
+    CCVC_METRIC_HIST("engine.wire.stamp_bytes",
+                     stamp_wire_size(out.stamp, cfg_.stamp_mode));
     if (observer_) {
       observer_->on_wire(kNotifierSite, dest, out_bytes.size(),
                          stamp_wire_size(out.stamp, cfg_.stamp_mode));

@@ -4,6 +4,8 @@
 
 #include "util/check.hpp"
 #include "util/checksum.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace ccvc::engine {
 
@@ -93,7 +95,10 @@ std::shared_ptr<ReliableLink> ReliableLink::restore(
                    std::move(deliver));
   link->next_seq_ = state.next_seq;
   link->expected_ = state.expected;
-  link->unacked_.assign(state.unacked.begin(), state.unacked.end());
+  for (const auto& [seq, payload] : state.unacked) {
+    // Restored frames restart their latency clock at the restore time.
+    link->unacked_.push_back(Unacked{seq, payload, queue.now()});
+  }
   for (const auto& [seq, payload] : state.out_of_order) {
     link->out_of_order_.emplace(seq, payload);
   }
@@ -110,7 +115,8 @@ ReliableLink::State ReliableLink::state() const {
   s.next_seq = next_seq_;
   s.expected = expected_;
   s.ack_due = ack_due_;
-  s.unacked.assign(unacked_.begin(), unacked_.end());
+  s.unacked.reserve(unacked_.size());
+  for (const Unacked& e : unacked_) s.unacked.emplace_back(e.seq, e.payload);
   s.out_of_order.assign(out_of_order_.begin(), out_of_order_.end());
   return s;
 }
@@ -120,10 +126,10 @@ void ReliableLink::encode_state(util::ByteSink& sink) const {
   sink.put_uvarint(expected_);
   sink.put_u8(ack_due_ ? 1 : 0);
   sink.put_uvarint(unacked_.size());
-  for (const auto& [seq, payload] : unacked_) {
-    sink.put_uvarint(seq);
-    sink.put_uvarint(payload.size());
-    sink.put_raw(payload.data(), payload.size());
+  for (const Unacked& e : unacked_) {
+    sink.put_uvarint(e.seq);
+    sink.put_uvarint(e.payload.size());
+    sink.put_raw(e.payload.data(), e.payload.size());
   }
   sink.put_uvarint(out_of_order_.size());
   for (const auto& [seq, payload] : out_of_order_) {
@@ -166,10 +172,14 @@ ReliableLink::State ReliableLink::decode_state(util::ByteSource& src) {
 
 void ReliableLink::send(net::Payload payload) {
   const std::uint64_t seq = next_seq_++;
-  unacked_.emplace_back(seq, payload);
+  unacked_.push_back(Unacked{seq, payload, queue_.now()});
   CCVC_CHECK_MSG(unacked_.size() <= cfg_.max_unacked,
                  "link " + name_ + " retransmit buffer overflow");
   stats_.data_sent += 1;
+  CCVC_METRIC_COUNT("link.data_sent", 1);
+  CCVC_METRIC_GAUGE_SET("link.unacked_depth", unacked_.size());
+  CCVC_TRACE(util::trace::EventType::kLinkData, queue_.now(), 0, seq,
+             payload.size());
   transmit_data(seq, payload);
   arm_rto();
 }
@@ -193,6 +203,9 @@ void ReliableLink::on_frame(const net::Payload& bytes) {
     // Corrupt (or truncated) frame: drop it.  The sender's retransmit
     // timer heals the loss — corruption is detected, never executed.
     stats_.checksum_rejects += 1;
+    CCVC_METRIC_COUNT("link.checksum_rejects", 1);
+    CCVC_TRACE(util::trace::EventType::kLinkReject, queue_.now(), 0,
+               bytes.size(), 0);
     return;
   }
 
@@ -202,6 +215,7 @@ void ReliableLink::on_frame(const net::Payload& bytes) {
   ack_due_ = true;  // even duplicates: their earlier ack may be lost
   if (frame.seq < expected_) {
     stats_.duplicates += 1;
+    CCVC_METRIC_COUNT("link.dup_drops", 1);
     schedule_delayed_ack();
     return;
   }
@@ -223,8 +237,10 @@ void ReliableLink::on_frame(const net::Payload& bytes) {
         out_of_order_.emplace(frame.seq, frame.payload).second;
     if (inserted) {
       stats_.reordered += 1;
+      CCVC_METRIC_COUNT("link.ooo_buffered", 1);
     } else {
       stats_.duplicates += 1;
+      CCVC_METRIC_COUNT("link.dup_drops", 1);
     }
   }
   schedule_delayed_ack();
@@ -232,6 +248,9 @@ void ReliableLink::on_frame(const net::Payload& bytes) {
 
 void ReliableLink::deliver_in_order(const net::Payload& payload) {
   stats_.delivered += 1;
+  CCVC_METRIC_COUNT("link.delivered", 1);
+  CCVC_TRACE(util::trace::EventType::kLinkDeliver, queue_.now(), 0, expected_,
+             payload.size());
   deliver_(payload);
 }
 
@@ -242,12 +261,19 @@ void ReliableLink::note_replayed_delivery() {
 
 void ReliableLink::process_ack(std::uint64_t ack) {
   bool progress = false;
-  while (!unacked_.empty() && unacked_.front().first <= ack) {
+  while (!unacked_.empty() && unacked_.front().seq <= ack) {
+    CCVC_METRIC_HIST(
+        "link.ack_latency_us",
+        util::metrics::to_us(queue_.now() - unacked_.front().sent_at));
     unacked_.pop_front();
     progress = true;
   }
-  // Forward progress restarts the backoff schedule.
-  if (progress) current_rto_ = cfg_.rto_ms;
+  if (progress) {
+    CCVC_METRIC_GAUGE_SET("link.unacked_depth", unacked_.size());
+    // Forward progress restarts the backoff schedule.
+    current_rto_ = cfg_.rto_ms;
+    CCVC_METRIC_GAUGE_SET("link.rto_us", util::metrics::to_us(current_rto_));
+  }
 }
 
 void ReliableLink::schedule_delayed_ack() {
@@ -264,6 +290,9 @@ void ReliableLink::schedule_delayed_ack() {
     frame.ack = self->expected_ - 1;
     self->ack_due_ = false;
     self->stats_.acks_sent += 1;
+    CCVC_METRIC_COUNT("link.acks_sent", 1);
+    CCVC_TRACE(util::trace::EventType::kLinkAck, self->queue_.now(), 0,
+               frame.ack, 0);
     self->raw_send_(encode_frame(frame));
   });
 }
@@ -288,10 +317,14 @@ void ReliableLink::on_rto_fire() {
   // Retransmit the oldest unacked frame (cumulative acks mean it is the
   // one the receiver is missing) and back off exponentially so a long
   // partition does not flood the queue.
-  const auto& [seq, payload] = unacked_.front();
+  const Unacked& front = unacked_.front();
   stats_.retransmits += 1;
-  transmit_data(seq, payload);
+  CCVC_METRIC_COUNT("link.retransmits", 1);
+  CCVC_TRACE(util::trace::EventType::kLinkRetransmit, queue_.now(), 0,
+             front.seq, front.payload.size());
+  transmit_data(front.seq, front.payload);
   current_rto_ = std::min(current_rto_ * cfg_.rto_backoff, cfg_.max_rto_ms);
+  CCVC_METRIC_GAUGE_SET("link.rto_us", util::metrics::to_us(current_rto_));
   arm_rto();
 }
 

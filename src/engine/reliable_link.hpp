@@ -162,7 +162,15 @@ class ReliableLink : public std::enable_shared_from_this<ReliableLink> {
   /// that was lost — and cleared by any transmission carrying the
   /// cursor (piggybacked or standalone).
   bool ack_due_ = false;
-  std::deque<std::pair<std::uint64_t, net::Payload>> unacked_;
+  /// Retransmit-buffer entry.  sent_at is the first-transmission time —
+  /// the ack-latency histogram measures from it, and it is deliberately
+  /// not serialized (a restored link restarts the measurement clock).
+  struct Unacked {
+    std::uint64_t seq;
+    net::Payload payload;
+    net::SimTime sent_at;
+  };
+  std::deque<Unacked> unacked_;
   std::map<std::uint64_t, net::Payload> out_of_order_;
 
   double current_rto_ = 0.0;

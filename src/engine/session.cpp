@@ -2,6 +2,8 @@
 
 #include "engine/snapshot.hpp"
 #include "util/check.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 #include "util/varint.hpp"
 
 namespace ccvc::engine {
@@ -57,6 +59,10 @@ void StarSession::make_notifier_link(SiteId i,
   // something a crash could take back.
   auto deliver = [this, i](const net::Payload& payload) {
     wal_.emplace_back(i, payload);
+    CCVC_METRIC_COUNT("session.wal.appends", 1);
+    CCVC_METRIC_GAUGE_SET("session.wal.length", wal_.size());
+    CCVC_TRACE(util::trace::EventType::kWalAppend, queue_.now(), i,
+               wal_.size(), payload.size());
     notifier_->on_client_message(i, payload);
   };
   notifier_links_[i] =
@@ -266,8 +272,13 @@ void StarSession::checkpoint_notifier() {
     notifier_links_[i]->encode_state(sink);
   }
   notifier_ckpt_ = sink.bytes();
+  CCVC_METRIC_COUNT("session.checkpoints", 1);
+  CCVC_METRIC_HIST("session.checkpoint_bytes", notifier_ckpt_.size());
+  CCVC_TRACE(util::trace::EventType::kCheckpoint, queue_.now(), kNotifierSite,
+             notifier_ckpt_.size(), wal_.size());
   // Everything the log would replay is inside the checkpoint now.
   wal_.clear();
+  CCVC_METRIC_GAUGE_SET("session.wal.length", 0);
   ++checkpoints_taken_;
 }
 
@@ -301,6 +312,9 @@ void StarSession::crash_notifier() {
                  "crash_notifier requires the reliability layer (which "
                  "takes the durable checkpoint)");
   ++notifier_crashes_;
+  CCVC_METRIC_COUNT("session.notifier_crashes", 1);
+  CCVC_TRACE(util::trace::EventType::kCrash, queue_.now(), kNotifierSite,
+             wal_.size(), 0);
 
   // The process dies: every TCP connection resets, losing in-flight
   // traffic in both directions.
@@ -318,16 +332,22 @@ void StarSession::crash_notifier() {
   // dictate); clients deduplicate the ones they already executed.  The
   // WAL itself is NOT consumed — a second crash before the next
   // checkpoint must be able to replay it again.
+  CCVC_METRIC_COUNT("session.recovery.wal_replayed", wal_.size());
+  CCVC_METRIC_HIST("session.recovery.replay_len", wal_.size());
   for (const auto& [from, payload] : wal_) {
     // The payload is re-processed from the log, not re-received: advance
     // the link cursor so the peer's retransmission dedups.
     notifier_links_[from]->note_replayed_delivery();
+    CCVC_TRACE(util::trace::EventType::kRecoveryReplay, queue_.now(), from,
+               payload.size(), 0);
     notifier_->on_client_message(from, payload);
   }
 }
 
 void StarSession::disconnect_client(SiteId i) {
   CCVC_CHECK(i >= 1 && i <= cfg_.num_sites);
+  CCVC_METRIC_COUNT("session.disconnects", 1);
+  CCVC_TRACE(util::trace::EventType::kDisconnect, queue_.now(), i, 0, 0);
   net_.channel(i, kNotifierSite).set_down(true);
   net_.channel(kNotifierSite, i).set_down(true);
   net_.channel(i, kNotifierSite).drop_in_flight();
@@ -336,6 +356,8 @@ void StarSession::disconnect_client(SiteId i) {
 
 void StarSession::reconnect_client(SiteId i) {
   CCVC_CHECK(i >= 1 && i <= cfg_.num_sites);
+  CCVC_METRIC_COUNT("session.reconnects", 1);
+  CCVC_TRACE(util::trace::EventType::kReconnect, queue_.now(), i, 0, 0);
   net_.channel(i, kNotifierSite).set_down(false);
   net_.channel(kNotifierSite, i).set_down(false);
 }
@@ -343,6 +365,8 @@ void StarSession::reconnect_client(SiteId i) {
 void StarSession::restart_client(SiteId i) {
   CCVC_CHECK(i >= 1 && i <= cfg_.num_sites);
   CCVC_CHECK_MSG(notifier_->is_active(i), "cannot restart a departed site");
+  CCVC_METRIC_COUNT("session.client_restarts", 1);
+  CCVC_TRACE(util::trace::EventType::kClientRestart, queue_.now(), i, 0, 0);
 
   // The client process dies: both connections reset.
   net_.channel(i, kNotifierSite).drop_in_flight();

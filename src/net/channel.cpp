@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace ccvc::net {
 
@@ -18,10 +20,19 @@ void Channel::send(Payload bytes) {
   stats_.messages += 1;
   stats_.bytes += bytes.size();
   stats_.msg_size.add(static_cast<double>(bytes.size()));
+  CCVC_METRIC_COUNT("net.channel.sends", 1);
+  CCVC_METRIC_COUNT("net.channel.bytes", bytes.size());
+  CCVC_METRIC_HIST("net.channel.msg_bytes", bytes.size());
 
   const SimTime sent_at = queue_.now();
+  CCVC_TRACE(util::trace::EventType::kChannelSend, sent_at, trace_site_,
+             bytes.size(), 0);
   if (down_ || (plan_.active() && plan_.is_down_at(sent_at))) {
     fault_stats_.dropped_down += 1;
+    CCVC_METRIC_COUNT("net.channel.drops.down", 1);
+    CCVC_TRACE(util::trace::EventType::kChannelDrop, sent_at, trace_site_,
+               bytes.size(),
+               static_cast<std::uint64_t>(util::trace::DropReason::kDown));
     return;
   }
   if (!plan_.active()) {
@@ -34,6 +45,10 @@ void Channel::send(Payload bytes) {
   // perturbations are a pure function of the seed.
   if (rng_.chance(plan_.drop_prob)) {
     fault_stats_.dropped += 1;
+    CCVC_METRIC_COUNT("net.channel.drops.fault", 1);
+    CCVC_TRACE(util::trace::EventType::kChannelDrop, sent_at, trace_site_,
+               bytes.size(),
+               static_cast<std::uint64_t>(util::trace::DropReason::kFault));
     return;
   }
   if (!bytes.empty() && rng_.chance(plan_.corrupt_prob)) {
@@ -42,10 +57,12 @@ void Channel::send(Payload bytes) {
     bytes[rng_.index(bytes.size())] ^=
         static_cast<std::uint8_t>(1 + rng_.below(255));
     fault_stats_.corrupted += 1;
+    CCVC_METRIC_COUNT("net.channel.corrupted", 1);
   }
   const bool duplicate = rng_.chance(plan_.dup_prob);
   if (duplicate) {
     fault_stats_.duplicated += 1;
+    CCVC_METRIC_COUNT("net.channel.duplicated", 1);
     schedule_delivery(bytes, sent_at);  // extra copy, independent latency
   }
   schedule_delivery(std::move(bytes), sent_at);
@@ -61,6 +78,7 @@ void Channel::schedule_delivery(Payload bytes, SimTime sent_at) {
     deliver_at += rng_.uniform(0.0, plan_.reorder_window_ms);
     clamp = false;
     fault_stats_.reordered += 1;
+    CCVC_METRIC_COUNT("net.channel.reordered", 1);
   }
   if (clamp) {
     // FIFO: never deliver before an earlier message on this channel.
@@ -70,6 +88,8 @@ void Channel::schedule_delivery(Payload bytes, SimTime sent_at) {
     last_delivery_ = deliver_at;
   }
   stats_.latency_ms.add(deliver_at - sent_at);
+  CCVC_METRIC_HIST("net.channel.latency_us",
+                   util::metrics::to_us(deliver_at - sent_at));
 
   in_flight_ += 1;
   queue_.schedule_at(
@@ -78,6 +98,8 @@ void Channel::schedule_delivery(Payload bytes, SimTime sent_at) {
         in_flight_ -= 1;
         CCVC_CHECK_MSG(static_cast<bool>(receiver_),
                        "channel " + name_ + " has no receiver installed");
+        CCVC_TRACE(util::trace::EventType::kChannelDeliver, queue_.now(),
+                   trace_site_, payload.size(), 0);
         receiver_(payload);
       });
 }
@@ -85,6 +107,10 @@ void Channel::schedule_delivery(Payload bytes, SimTime sent_at) {
 void Channel::drop_in_flight() {
   epoch_ += 1;
   fault_stats_.dropped_reset += in_flight_;
+  CCVC_METRIC_COUNT("net.channel.drops.reset", in_flight_);
+  CCVC_TRACE(util::trace::EventType::kChannelDrop, queue_.now(), trace_site_,
+             in_flight_,
+             static_cast<std::uint64_t>(util::trace::DropReason::kReset));
   in_flight_ = 0;
   // A fresh connection has no earlier deliveries to order behind.
   last_delivery_ = queue_.now();
@@ -98,6 +124,7 @@ Channel& Network::add_channel(SiteId from, SiteId to,
   auto name = std::to_string(from) + "->" + std::to_string(to);
   auto ch = std::make_unique<Channel>(queue_, latency, rng_.fork(),
                                       std::move(name), ordering);
+  ch->set_trace_site(from);
   auto [it, inserted] = channels_.emplace(key, std::move(ch));
   (void)inserted;
   return *it->second;

@@ -89,6 +89,10 @@ class Channel {
   const ChannelStats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
 
+  /// Site id stamped on this channel's trace events (the sender side).
+  /// Network::add_channel sets it; a bare Channel traces as site 0.
+  void set_trace_site(SiteId site) { trace_site_ = site; }
+
  private:
   void schedule_delivery(Payload bytes, SimTime sent_at);
 
@@ -100,6 +104,7 @@ class Channel {
   ChannelStats stats_;
   std::string name_;
   Ordering ordering_;
+  SiteId trace_site_ = 0;
 
   FaultPlan plan_;
   FaultStats fault_stats_;

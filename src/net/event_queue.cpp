@@ -1,12 +1,14 @@
 #include "net/event_queue.hpp"
 
 #include "util/check.hpp"
+#include "util/metrics.hpp"
 
 namespace ccvc::net {
 
 void EventQueue::schedule_at(SimTime t, Action action) {
   CCVC_CHECK_MSG(t >= now_, "cannot schedule into the past");
   heap_.push(Event{t, next_seq_++, std::move(action)});
+  CCVC_METRIC_GAUGE_SET("net.queue.depth", heap_.size());
 }
 
 void EventQueue::schedule_in(SimTime dt, Action action) {
@@ -22,6 +24,8 @@ bool EventQueue::step() {
   heap_.pop();
   now_ = ev.t;
   last_event_time_ = ev.t;
+  CCVC_METRIC_COUNT("net.queue.events_run", 1);
+  CCVC_METRIC_GAUGE_SET("net.queue.depth", heap_.size());
   ev.fn();
   return true;
 }

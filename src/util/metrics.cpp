@@ -1,0 +1,170 @@
+#include "util/metrics.hpp"
+
+#include <bit>
+#include <limits>
+#include <map>
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace ccvc::util::metrics {
+
+namespace {
+
+// One sorted map per kind.  unique_ptr payloads give the reference
+// stability the resolve-once macros rely on; std::map gives snapshots
+// their deterministic name order for free.
+struct Registry {
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+bool valid_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+template <typename T>
+T& lookup(std::map<std::string, std::unique_ptr<T>, std::less<>>& kind,
+          std::string_view name) {
+  CCVC_CHECK_MSG(valid_name(name),
+                 "metric name must match ^[a-z0-9_.]+$ "
+                 "(docs/OBSERVABILITY.md naming scheme)");
+  auto it = kind.find(name);
+  if (it == kind.end()) {
+    it = kind.emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return *it->second;
+}
+
+void append_json_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+}  // namespace
+
+void Histogram::record(std::uint64_t v) {
+  count_ += 1;
+  sum_ += v;
+  if (count_ == 1 || v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  buckets_[static_cast<std::size_t>(std::bit_width(v))] += 1;
+}
+
+std::uint64_t Histogram::bucket_limit(std::size_t i) {
+  if (i >= 64) return std::numeric_limits<std::uint64_t>::max();
+  return std::uint64_t{1} << i;
+}
+
+void Histogram::reset() { *this = Histogram{}; }
+
+Counter& counter(std::string_view name) {
+  return lookup(registry().counters, name);
+}
+
+Gauge& gauge(std::string_view name) { return lookup(registry().gauges, name); }
+
+Histogram& histogram(std::string_view name) {
+  return lookup(registry().histograms, name);
+}
+
+void reset() {
+  for (auto& [name, c] : registry().counters) c->value = 0;
+  for (auto& [name, g] : registry().gauges) *g = Gauge{};
+  for (auto& [name, h] : registry().histograms) h->reset();
+}
+
+std::size_t instrument_count() {
+  const Registry& r = registry();
+  return r.counters.size() + r.gauges.size() + r.histograms.size();
+}
+
+std::string snapshot_text() {
+  std::string out;
+  for (const auto& [name, c] : registry().counters) {
+    out.append("counter ").append(name).append(" ");
+    out.append(std::to_string(c->value)).append("\n");
+  }
+  for (const auto& [name, g] : registry().gauges) {
+    out.append("gauge ").append(name).append(" ");
+    out.append(std::to_string(g->value)).append(" watermark ");
+    out.append(std::to_string(g->watermark)).append("\n");
+  }
+  for (const auto& [name, h] : registry().histograms) {
+    out.append("hist ").append(name);
+    out.append(" count ").append(std::to_string(h->count()));
+    out.append(" sum ").append(std::to_string(h->sum()));
+    out.append(" min ").append(std::to_string(h->min()));
+    out.append(" max ").append(std::to_string(h->max()));
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h->buckets()[i] != 0) {
+        out.append(" b").append(std::to_string(i));
+        out.append(":").append(std::to_string(h->buckets()[i]));
+      }
+    }
+    out.append("\n");
+  }
+  return out;
+}
+
+std::string snapshot_json() {
+  // Metric names are constrained to [a-z0-9_.], so no JSON escaping is
+  // ever needed and the output is a pure function of registry state.
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : registry().counters) {
+    if (!first) out.append(",");
+    first = false;
+    out.append("\"").append(name).append("\":");
+    append_json_u64(out, c->value);
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, g] : registry().gauges) {
+    if (!first) out.append(",");
+    first = false;
+    out.append("\"").append(name).append("\":{\"value\":");
+    out.append(std::to_string(g->value));
+    out.append(",\"watermark\":").append(std::to_string(g->watermark));
+    out.append("}");
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, h] : registry().histograms) {
+    if (!first) out.append(",");
+    first = false;
+    out.append("\"").append(name).append("\":{\"count\":");
+    append_json_u64(out, h->count());
+    out.append(",\"sum\":");
+    append_json_u64(out, h->sum());
+    out.append(",\"min\":");
+    append_json_u64(out, h->min());
+    out.append(",\"max\":");
+    append_json_u64(out, h->max());
+    out.append(",\"buckets\":{");
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h->buckets()[i] == 0) continue;
+      if (!first_bucket) out.append(",");
+      first_bucket = false;
+      out.append("\"").append(std::to_string(i)).append("\":");
+      append_json_u64(out, h->buckets()[i]);
+    }
+    out.append("}}");
+  }
+  out.append("}}");
+  return out;
+}
+
+}  // namespace ccvc::util::metrics

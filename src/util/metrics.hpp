@@ -1,0 +1,166 @@
+// Low-overhead metrics registry: counters, gauges, and fixed-bucket
+// histograms, scraped by the unified bench runner (bench/bench_main) and
+// asserted deterministic by the chaos suite.
+//
+// Design constraints (docs/OBSERVABILITY.md):
+//
+//  * Hot-path cost is one function-local-static guard check plus a
+//    uint64_t bump — the CCVC_METRIC_* macros resolve the name to an
+//    instrument reference once, at the call site's first execution, and
+//    never allocate afterwards.
+//  * Everything recorded is an integer (histogram inputs included), so a
+//    snapshot of a seeded simulation is byte-identical across runs and
+//    platforms — no floating-point accumulation order to worry about.
+//  * Instruments live in a process-global registry sorted by name;
+//    snapshots render in name order regardless of registration order.
+//  * Compiling with -DCCVC_NO_METRICS turns every macro into a no-op
+//    that still syntax-checks (and "uses") its arguments; the registry
+//    itself stays linkable so mixed translation units agree.
+//
+// The registry is single-threaded by design, like the simulator it
+// instruments (net/event_queue.hpp): no atomics, no locks.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ccvc::util::metrics {
+
+/// Monotonically increasing event count.
+struct Counter {
+  std::uint64_t value = 0;
+
+  void inc(std::uint64_t n = 1) { value += n; }
+};
+
+/// Last-written level plus its high watermark (e.g. queue depth).
+struct Gauge {
+  std::int64_t value = 0;
+  std::int64_t watermark = 0;
+
+  void set(std::int64_t v) {
+    value = v;
+    if (v > watermark) watermark = v;
+  }
+  void add(std::int64_t delta) { set(value + delta); }
+};
+
+/// Fixed power-of-two bucket histogram for sizes and latencies.
+///
+/// Bucket i counts values v with bit_width(v) == i, i.e. bucket 0 holds
+/// v == 0 and bucket i ≥ 1 holds v in [2^(i-1), 2^i).  The layout needs
+/// no per-instrument configuration, covers the full uint64_t range, and
+/// stays exact-integer (deterministic snapshots).  Latencies are
+/// recorded in integer microseconds of simulated time.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  // bit_width(v) in [0, 64]
+
+  void record(std::uint64_t v);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  /// Upper bound (exclusive) of bucket i: 2^i, saturated at uint64 max.
+  static std::uint64_t bucket_limit(std::size_t i);
+
+  void reset();
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/// Looks up (registering on first use) the named instrument.  Names must
+/// match ^[a-z0-9_.]+$ — dot-separated `layer.component.metric` per the
+/// naming scheme in docs/OBSERVABILITY.md; a malformed name throws
+/// ContractViolation.  References stay valid for the process lifetime.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+/// Zeroes every registered instrument (registrations persist, so
+/// call-site references stay valid).  Benches call this between runs.
+void reset();
+
+/// Number of registered instruments (all three kinds).
+std::size_t instrument_count();
+
+/// Deterministic plain-text snapshot, one instrument per line, sorted by
+/// name.  Two equal-seed simulation runs produce byte-identical text.
+std::string snapshot_text();
+
+/// The same snapshot as a JSON object:
+/// {"counters":{...},"gauges":{...},"histograms":{...}} with keys in
+/// name order.  Consumed by bench/bench_main and tools/bench_report.py.
+std::string snapshot_json();
+
+/// Converts a simulated-time duration (milliseconds, net::SimTime) to
+/// the integer microseconds the histograms record.
+inline std::uint64_t to_us(double ms) {
+  if (ms <= 0.0) return 0;
+  return static_cast<std::uint64_t>(ms * 1000.0);
+}
+
+}  // namespace ccvc::util::metrics
+
+// --- hot-path macros --------------------------------------------------
+//
+// Each macro resolves its instrument once (function-local static
+// reference) and then costs one guard-variable load plus the bump.  The
+// name argument must be a string literal so call sites are greppable and
+// the resolve-once pattern is sound.
+//
+// With -DCCVC_NO_METRICS the macros evaluate nothing but still "use"
+// their arguments via sizeof, so variables referenced only by metrics
+// code do not trip -Werror=unused under the stripped build.
+#if defined(CCVC_NO_METRICS)
+
+#define CCVC_METRIC_COUNT(name, n) \
+  do {                             \
+    (void)sizeof(n);               \
+  } while (0)
+#define CCVC_METRIC_GAUGE_SET(name, v) \
+  do {                                 \
+    (void)sizeof(v);                   \
+  } while (0)
+#define CCVC_METRIC_HIST(name, v) \
+  do {                            \
+    (void)sizeof(v);              \
+  } while (0)
+
+#else
+
+#define CCVC_METRIC_COUNT(name, n)                                    \
+  do {                                                                \
+    static ::ccvc::util::metrics::Counter& ccvc_metric_instrument =   \
+        ::ccvc::util::metrics::counter(name);                         \
+    ccvc_metric_instrument.inc(static_cast<std::uint64_t>(n));        \
+  } while (0)
+
+#define CCVC_METRIC_GAUGE_SET(name, v)                                \
+  do {                                                                \
+    static ::ccvc::util::metrics::Gauge& ccvc_metric_instrument =     \
+        ::ccvc::util::metrics::gauge(name);                           \
+    ccvc_metric_instrument.set(static_cast<std::int64_t>(v));         \
+  } while (0)
+
+#define CCVC_METRIC_HIST(name, v)                                     \
+  do {                                                                \
+    static ::ccvc::util::metrics::Histogram& ccvc_metric_instrument = \
+        ::ccvc::util::metrics::histogram(name);                       \
+    ccvc_metric_instrument.record(static_cast<std::uint64_t>(v));     \
+  } while (0)
+
+#endif  // CCVC_NO_METRICS

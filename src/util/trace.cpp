@@ -1,0 +1,119 @@
+#include "util/trace.hpp"
+
+#include "util/check.hpp"
+
+namespace ccvc::util::trace {
+
+namespace {
+
+struct Ring {
+  std::vector<Event> slots;
+  std::size_t head = 0;       // next write position
+  std::size_t count = 0;      // live events (≤ slots.size())
+  std::uint64_t dropped = 0;  // overwritten events
+  bool enabled = false;
+};
+
+Ring& ring() {
+  static Ring r;
+  return r;
+}
+
+}  // namespace
+
+const char* name(EventType type) {
+  switch (type) {
+    case EventType::kChannelSend: return "channel.send";
+    case EventType::kChannelDeliver: return "channel.deliver";
+    case EventType::kChannelDrop: return "channel.drop";
+    case EventType::kLinkData: return "link.data";
+    case EventType::kLinkRetransmit: return "link.retransmit";
+    case EventType::kLinkAck: return "link.ack";
+    case EventType::kLinkDeliver: return "link.deliver";
+    case EventType::kLinkReject: return "link.reject";
+    case EventType::kCheckpoint: return "session.checkpoint";
+    case EventType::kWalAppend: return "session.wal_append";
+    case EventType::kCrash: return "session.crash";
+    case EventType::kRecoveryReplay: return "session.recovery_replay";
+    case EventType::kClientRestart: return "session.client_restart";
+    case EventType::kDisconnect: return "session.disconnect";
+    case EventType::kReconnect: return "session.reconnect";
+  }
+  return "unknown";
+}
+
+bool enabled() { return ring().enabled; }
+
+void enable(std::size_t capacity) {
+  CCVC_CHECK_MSG(capacity > 0, "trace ring capacity must be positive");
+  Ring& r = ring();
+  r.slots.assign(capacity, Event{});
+  r.head = 0;
+  r.count = 0;
+  r.dropped = 0;
+  r.enabled = true;
+}
+
+void disable() { ring().enabled = false; }
+
+void clear() {
+  Ring& r = ring();
+  r.head = 0;
+  r.count = 0;
+  r.dropped = 0;
+}
+
+void record(EventType type, double ts_ms, std::uint32_t site, std::uint64_t a,
+            std::uint64_t b) {
+  Ring& r = ring();
+  if (!r.enabled || r.slots.empty()) return;
+  if (r.count == r.slots.size()) r.dropped += 1;
+  r.slots[r.head] = Event{type, site, ts_ms, a, b};
+  r.head = (r.head + 1) % r.slots.size();
+  if (r.count < r.slots.size()) r.count += 1;
+}
+
+std::size_t size() { return ring().count; }
+
+std::size_t capacity() { return ring().slots.size(); }
+
+std::uint64_t dropped() { return ring().dropped; }
+
+std::vector<Event> events() {
+  const Ring& r = ring();
+  std::vector<Event> out;
+  out.reserve(r.count);
+  if (r.slots.empty()) return out;
+  // Oldest event: `count` positions behind the write cursor.
+  const std::size_t start =
+      (r.head + r.slots.size() - r.count) % r.slots.size();
+  for (std::size_t i = 0; i < r.count; ++i) {
+    out.push_back(r.slots[(start + i) % r.slots.size()]);
+  }
+  return out;
+}
+
+std::string chrome_json() {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    out += name(e.type);
+    out += "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+    // Chrome's "ts" unit is microseconds; simulated time is ms.
+    out += std::to_string(e.ts_ms * 1000.0);
+    out += ",\"pid\":0,\"tid\":";
+    out += std::to_string(e.site);
+    out += ",\"args\":{\"a\":";
+    out += std::to_string(e.a);
+    out += ",\"b\":";
+    out += std::to_string(e.b);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ccvc::util::trace

@@ -1,0 +1,101 @@
+// Trace ring semantics (src/util/trace.hpp): bounded overwrite, oldest-
+// first iteration, enable/disable gating, and the Chrome-trace JSON
+// rendering consumed via chrome://tracing / Perfetto.
+#include "util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace ccvc::util {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { trace::disable(); }
+};
+
+TEST_F(TraceTest, DisabledRingRecordsNothing) {
+  trace::disable();
+  trace::record(trace::EventType::kChannelSend, 1.0, 1, 0, 0);
+  EXPECT_EQ(trace::size(), 0u);
+
+  // The macro form short-circuits on enabled() before evaluating.
+  CCVC_TRACE(trace::EventType::kChannelSend, 1.0, 1, 0, 0);
+  EXPECT_EQ(trace::size(), 0u);
+}
+
+TEST_F(TraceTest, RecordsInOrder) {
+  trace::enable(8);
+  trace::record(trace::EventType::kChannelSend, 1.0, 1, 10, 0);
+  trace::record(trace::EventType::kChannelDeliver, 2.0, 2, 20, 0);
+  ASSERT_EQ(trace::size(), 2u);
+  const auto events = trace::events();
+  EXPECT_EQ(events[0].type, trace::EventType::kChannelSend);
+  EXPECT_EQ(events[0].ts_ms, 1.0);
+  EXPECT_EQ(events[0].site, 1u);
+  EXPECT_EQ(events[0].a, 10u);
+  EXPECT_EQ(events[1].type, trace::EventType::kChannelDeliver);
+}
+
+TEST_F(TraceTest, BoundedRingOverwritesOldest) {
+  trace::enable(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    trace::record(trace::EventType::kLinkData, static_cast<double>(i), 0, i,
+                  0);
+  }
+  EXPECT_EQ(trace::size(), 4u);
+  EXPECT_EQ(trace::capacity(), 4u);
+  EXPECT_EQ(trace::dropped(), 6u);
+  const auto events = trace::events();
+  ASSERT_EQ(events.size(), 4u);
+  // The survivors are the newest four, oldest first.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].a, 6u + i);
+  }
+}
+
+TEST_F(TraceTest, ClearKeepsCapacityAndEnablement) {
+  trace::enable(4);
+  trace::record(trace::EventType::kCrash, 5.0, 0, 0, 0);
+  trace::clear();
+  EXPECT_EQ(trace::size(), 0u);
+  EXPECT_EQ(trace::dropped(), 0u);
+  EXPECT_TRUE(trace::enabled());
+  trace::record(trace::EventType::kCrash, 6.0, 0, 0, 0);
+  EXPECT_EQ(trace::size(), 1u);
+}
+
+TEST_F(TraceTest, EveryEventTypeHasAName) {
+  for (const auto t : {
+           trace::EventType::kChannelSend, trace::EventType::kChannelDeliver,
+           trace::EventType::kChannelDrop, trace::EventType::kLinkData,
+           trace::EventType::kLinkRetransmit, trace::EventType::kLinkAck,
+           trace::EventType::kLinkDeliver, trace::EventType::kLinkReject,
+           trace::EventType::kCheckpoint, trace::EventType::kWalAppend,
+           trace::EventType::kCrash, trace::EventType::kRecoveryReplay,
+           trace::EventType::kClientRestart, trace::EventType::kDisconnect,
+           trace::EventType::kReconnect,
+       }) {
+    EXPECT_STRNE(trace::name(t), "unknown");
+  }
+}
+
+TEST_F(TraceTest, ChromeJsonRendersMicroseconds) {
+  trace::enable(4);
+  trace::record(trace::EventType::kLinkRetransmit, 2.5, 3, 7, 11);
+  const std::string j = trace::chrome_json();
+  EXPECT_NE(j.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"link.retransmit\""), std::string::npos);
+  EXPECT_NE(j.find("\"ts\":2500"), std::string::npos);  // ms -> us
+  EXPECT_NE(j.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(j.find("\"a\":7"), std::string::npos);
+  EXPECT_NE(j.find("\"b\":11"), std::string::npos);
+}
+
+TEST_F(TraceTest, ZeroCapacityIsRejected) {
+  EXPECT_THROW(trace::enable(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ccvc::util

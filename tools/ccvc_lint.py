@@ -37,6 +37,15 @@ Enforces invariants generic tools cannot express:
                      which switch on cfg.reliability.enabled and carry
                      explicit allow pragmas on their legacy branch).
 
+  doc-xref           Every path/to/file.ext-style reference in
+                     docs/*.md and README.md must name a file that
+                     exists (resolved against the repo root, then
+                     against src/ for the shorthand the protocol docs
+                     use).  Docs rot silently when code moves; this
+                     turns a dangling reference into a lint finding.
+                     Skipped: absolute paths, build/ outputs, and
+                     references without a directory component.
+
 A finding can be suppressed for one line with a trailing comment:
     do_thing();  // ccvc-lint: allow(<rule>) <justification>
 
@@ -59,6 +68,7 @@ RULES = (
     "self-include-first",
     "include-hygiene",
     "raw-channel-send",
+    "doc-xref",
 )
 
 # Files allowed to print: the observer/presentation layer.
@@ -83,6 +93,13 @@ ALLOW_RE = re.compile(r"ccvc-lint:\s*allow\(([a-z\-]+)\)")
 # immediately followed by .send(...).
 RAW_CHANNEL_SEND_RE = re.compile(
     r"\bchannel\w*\s*(?:\([^()]*\))?\s*(?:\.|->)\s*send\s*\("
+)
+# A repo-file reference in prose: at least one directory component and
+# a recognized source/doc extension.  Deliberately does NOT match bare
+# file names ("session.cpp") — only path-shaped references are checked.
+DOC_XREF_RE = re.compile(
+    r"[A-Za-z0-9_.\-/]*/[A-Za-z0-9_.\-]+"
+    r"\.(?:cpp|hpp|h|cc|c|py|sh|md|txt|json|cmake)\b"
 )
 
 
@@ -202,6 +219,26 @@ class Linter:
                                 f'(found "{m.group(1)}")')
                 return
 
+    def lint_doc_xrefs(self, path: pathlib.Path) -> None:
+        for lineno, line in enumerate(path.read_text(encoding="utf-8")
+                                      .splitlines(), start=1):
+            if "doc-xref" in {m.group(1) for m in ALLOW_RE.finditer(line)}:
+                continue
+            for m in DOC_XREF_RE.finditer(line):
+                ref = m.group(0)
+                # Absolute paths and build outputs are not tree files.
+                if ref.startswith(("/", "build", ".")):
+                    continue
+                if (self.root / ref).exists():
+                    continue
+                # The protocol docs abbreviate src/-relative paths
+                # ("engine/reliable_link.hpp").
+                if (self.root / "src" / ref).exists():
+                    continue
+                self.report(path, lineno, "doc-xref",
+                            f"dangling file reference '{ref}' — no such "
+                            "file at the repo root or under src/")
+
     def lint_header_standalone(self, headers: list[pathlib.Path]) -> None:
         with tempfile.TemporaryDirectory(prefix="ccvc_lint_") as td:
             tu = pathlib.Path(td) / "standalone_check.cpp"
@@ -231,6 +268,12 @@ class Linter:
             self.lint_lines(path)
         for path in cpps:
             self.lint_self_include(path)
+        docs = sorted((self.root / "docs").glob("*.md"))
+        readme = self.root / "README.md"
+        if readme.exists():
+            docs.append(readme)
+        for path in docs:
+            self.lint_doc_xrefs(path)
         if self.compile_headers:
             self.lint_header_standalone(hpps)
 
