@@ -1,0 +1,176 @@
+// Bounded model checker for the compressed-vector-clock protocol.
+//
+// The simulator's randomized workloads sample the schedule space; this
+// layer *exhausts* it.  For a small star-topology configuration (N
+// sites, each with a fixed program of ≤ a handful of operations) the
+// explorer enumerates every delivery interleaving the protocol admits —
+// every order in which sites generate their next operation, the
+// notifier consumes uplink messages, and clients consume downlink
+// messages, subject only to per-channel FIFO — and evaluates the
+// paper's claims as invariants in every reached state:
+//
+//   * formula equivalence — (5) ≡ (4) and (7) ≡ (6) on every
+//     concurrency decision (sim::VerdictInvariantChecker);
+//   * verdict fidelity — every compressed-clock verdict matches the
+//     shadow full-VersionVector ground truth (sim::CausalityOracle);
+//   * convergence — all replicas identical at quiescence;
+//   * intention preservation — for all-concurrent schedules of
+//     one-op-per-site configs, the merged document satisfies the
+//     §2 intention oracle (sim::check_intention_merge).
+//
+// Exploration is stateless replay-based DFS over schedules, with two
+// sound reductions:
+//
+//   * Sleep sets (Godefroid-style partial-order reduction).  Two
+//     transitions commute whenever they execute at different sites:
+//     Gen(i) and DeliverDown(i) run at site i, DeliverUp(i) runs at the
+//     notifier, and the only shared structure between transitions of
+//     different executing sites is a FIFO channel touched at opposite
+//     ends (append-to-tail vs pop-head commute whenever both are
+//     enabled).  Exploring one order of an independent pair makes the
+//     other order redundant; sleep sets prune it.
+//
+//   * State caching.  A fingerprint (CRC-32 + FNV-1a over the canonical
+//     protocol snapshot: every site's checkpoint codec blob plus the
+//     in-flight payload CRCs per channel in FIFO order) recognises
+//     states reached by multiple schedules; a state is re-explored only
+//     if the current sleep set is strictly weaker than the one it was
+//     explored under (the standard sound combination of the two).
+//
+// A violation stops the search and is reported as a Counterexample
+// whose schedule serialises to the scenario DSL (sim/script.hpp), so
+// every finding replays deterministically outside the checker:
+// `run_script(to_scenario(cfg, cex))` must report the same violation.
+//
+// Self-validation (§6 and the mutation suite): a checker is only
+// trustworthy if it *can* fail.  With the notifier transformation
+// disabled (ablation_config) or a single-token FormulaMutation
+// installed (mutation_probe_config), explore() must find a violating
+// schedule — tools/ci assert that it does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "clocks/compressed_sv.hpp"
+#include "util/types.hpp"
+
+namespace ccvc::analysis {
+
+/// One operation of a site's fixed program (generated in order).
+struct ProgramOp {
+  bool is_insert = true;
+  std::size_t pos = 0;
+  std::string text;       ///< insert payload
+  std::size_t count = 0;  ///< delete length
+};
+
+/// A model-checking configuration: the star topology plus what each
+/// site will type.  Keep it tiny — the schedule space is exponential in
+/// the total operation count (N ∈ {2,3,4}, ≤ 4 ops is the designed
+/// envelope).
+struct McConfig {
+  std::size_t num_sites = 2;
+  std::string initial_doc;
+  /// programs[i] is site i's ordered program; index 0 unused.
+  std::vector<std::vector<ProgramOp>> programs;
+  /// §6 ablation: disable the notifier's transformation.
+  bool transform = true;
+  /// Self-validation: run with a deliberately broken formula.
+  clocks::FormulaMutation mutation = clocks::FormulaMutation::kNone;
+  /// Reductions, individually toggleable so tests can measure them.
+  bool sleep_sets = true;
+  bool state_cache = true;
+};
+
+enum class TransitionKind : std::uint8_t {
+  kGen,          ///< site generates its next program op
+  kDeliverUp,    ///< notifier consumes the oldest site->0 message
+  kDeliverDown,  ///< site consumes the oldest 0->site message
+};
+
+struct Transition {
+  TransitionKind kind = TransitionKind::kGen;
+  SiteId site = 0;
+
+  friend bool operator==(const Transition&, const Transition&) = default;
+};
+
+/// "gen 2" / "up 1" / "down 3" — also the scenario DSL's step operands.
+std::string to_string(const Transition& t);
+
+enum class ViolationKind : std::uint8_t {
+  kEquivalence,  ///< (5) ≢ (4) or (7) ≢ (6) on some decision
+  kOracle,       ///< verdict disagreed with ground-truth causality
+  kDivergence,   ///< replicas differ at quiescence
+  kIntention,    ///< all-concurrent merge broke intention preservation
+};
+
+std::string_view to_string(ViolationKind k);
+
+struct Counterexample {
+  ViolationKind kind = ViolationKind::kEquivalence;
+  /// The violating schedule from the initial state (for kEquivalence /
+  /// kOracle the violation fires executing the last transition; for
+  /// kDivergence / kIntention the schedule is complete to quiescence).
+  std::vector<Transition> schedule;
+  std::string description;  ///< human diagnostic (counter + sample)
+};
+
+struct McStats {
+  std::uint64_t states = 0;       ///< distinct fingerprints reached
+  std::uint64_t transitions = 0;  ///< DFS edges executed (prefix replays
+                                  ///< excluded)
+  std::uint64_t terminals = 0;    ///< quiescent states reached
+  std::uint64_t replays = 0;      ///< fresh prefix re-executions
+  std::uint64_t branches = 0;     ///< enabled branch slots inspected
+  std::uint64_t sleep_prunes = 0; ///< branches cut by sleep sets
+  std::uint64_t cache_hits = 0;   ///< subtrees cut by the visited set
+
+  /// Fraction of inspected branches the reductions removed.
+  double reduction_ratio() const {
+    const double denom = static_cast<double>(branches);
+    if (denom == 0.0) return 0.0;
+    return static_cast<double>(sleep_prunes + cache_hits) / denom;
+  }
+};
+
+struct McResult {
+  std::optional<Counterexample> counterexample;
+  McStats stats;
+
+  bool violation_found() const { return counterexample.has_value(); }
+};
+
+/// Exhaustively explores every delivery interleaving of `cfg`, stopping
+/// at the first invariant violation.  Deterministic: the same config
+/// always yields the same result (and the same counterexample).
+McResult explore(const McConfig& cfg);
+
+/// Renders a counterexample as a scenario script (sim/script.hpp DSL):
+/// config lines, the per-site programs, the violating schedule as
+/// `step` statements, and the matching `expect-violation` assertion.
+std::string to_scenario(const McConfig& cfg, const Counterexample& cex);
+
+// --- canned configurations -------------------------------------------
+
+/// Clean sweep: `total_ops` uppercase single-character inserts at
+/// distinct positions of a lowercase base document, distributed
+/// round-robin over `num_sites` sites.  Must verify violation-free.
+McConfig exhaustive_config(std::size_t num_sites, std::size_t total_ops);
+
+/// §6 ablation: two sites, concurrent inserts, transformation disabled.
+/// explore() must find a violating schedule.
+McConfig ablation_config();
+
+/// Self-validation probe: a 2-site / 3-op configuration whose schedule
+/// space contains a detecting tie for every FormulaMutation (the
+/// kF7DropOrigin case needs a site with two operations, which this
+/// config has).  explore() must find a violation for every mutation
+/// except kNone.
+McConfig mutation_probe_config(clocks::FormulaMutation m);
+
+}  // namespace ccvc::analysis

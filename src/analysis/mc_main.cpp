@@ -1,0 +1,174 @@
+// ccvc_mc — the bounded model checker's command-line driver.
+//
+//   ccvc_mc exhaustive [SITES [OPS]]  exhaustively verify a clean config
+//                                     (default 3 sites / 3 ops); fails if
+//                                     any interleaving violates an
+//                                     invariant
+//   ccvc_mc ablation                  §6 ablation: transformation off —
+//                                     fails unless a violating schedule
+//                                     is found AND its scenario replays
+//   ccvc_mc mutations                 self-validation: every formula
+//                                     mutation must yield a replayable
+//                                     counterexample
+//   ccvc_mc scenario ablation|NAME    print the counterexample scenario
+//                                     for the ablation or a mutation
+//   ccvc_mc all                       everything above (ci/check.sh)
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "analysis/explorer.hpp"
+#include "sim/script.hpp"
+
+namespace {
+
+using ccvc::analysis::McConfig;
+using ccvc::analysis::McResult;
+using ccvc::analysis::McStats;
+using ccvc::clocks::FormulaMutation;
+
+constexpr FormulaMutation kAllMutations[] = {
+    FormulaMutation::kF4GeqSecond, FormulaMutation::kF5Geq,
+    FormulaMutation::kF6GeqSum, FormulaMutation::kF7Geq,
+    FormulaMutation::kF7DropOrigin};
+
+void print_stats(const McStats& s) {
+  std::cout << "  states=" << s.states << " transitions=" << s.transitions
+            << " terminals=" << s.terminals << " replays=" << s.replays
+            << "\n  branches=" << s.branches
+            << " sleep-prunes=" << s.sleep_prunes
+            << " cache-hits=" << s.cache_hits << " por-reduction="
+            << static_cast<int>(s.reduction_ratio() * 100.0) << "%\n";
+}
+
+/// Replays a counterexample through the scenario interpreter; the
+/// violation must reproduce outside the checker.
+bool replay_ok(const McConfig& cfg, const McResult& result) {
+  const std::string scenario =
+      ccvc::analysis::to_scenario(cfg, *result.counterexample);
+  const ccvc::sim::ScriptResult replay = ccvc::sim::run_script(scenario);
+  if (replay.passed) return true;
+  std::cout << "  REPLAY FAILED:\n" << scenario;
+  for (const std::string& f : replay.failures) {
+    std::cout << "    " << f << "\n";
+  }
+  return false;
+}
+
+int run_exhaustive(std::size_t sites, std::size_t ops) {
+  std::cout << "exhaustive: " << sites << " sites, " << ops << " ops\n";
+  const McConfig cfg = ccvc::analysis::exhaustive_config(sites, ops);
+  const McResult result = ccvc::analysis::explore(cfg);
+  print_stats(result.stats);
+  if (result.violation_found()) {
+    std::cout << "  VIOLATION ("
+              << ccvc::analysis::to_string(result.counterexample->kind)
+              << "): " << result.counterexample->description << "\n"
+              << ccvc::analysis::to_scenario(cfg, *result.counterexample);
+    return 1;
+  }
+  std::cout << "  OK: no invariant violation in any interleaving\n";
+  return 0;
+}
+
+int run_ablation() {
+  std::cout << "ablation: notifier transformation disabled\n";
+  const McConfig cfg = ccvc::analysis::ablation_config();
+  const McResult result = ccvc::analysis::explore(cfg);
+  print_stats(result.stats);
+  if (!result.violation_found()) {
+    std::cout << "  FAIL: checker found no violation with transformation "
+                 "off — it has no teeth\n";
+    return 1;
+  }
+  if (!replay_ok(cfg, result)) return 1;
+  std::cout << "  OK: found a "
+            << ccvc::analysis::to_string(result.counterexample->kind)
+            << " violation in " << result.counterexample->schedule.size()
+            << " steps; scenario replay reproduces it\n";
+  return 0;
+}
+
+int run_mutations() {
+  int rc = 0;
+  for (const FormulaMutation m : kAllMutations) {
+    const McConfig cfg = ccvc::analysis::mutation_probe_config(m);
+    std::cout << "mutation " << ccvc::clocks::to_string(m) << ":\n";
+    const McResult result = ccvc::analysis::explore(cfg);
+    print_stats(result.stats);
+    if (!result.violation_found()) {
+      std::cout << "  FAIL: no counterexample against the broken formula\n";
+      rc = 1;
+      continue;
+    }
+    if (!replay_ok(cfg, result)) {
+      rc = 1;
+      continue;
+    }
+    std::cout << "  OK: "
+              << ccvc::analysis::to_string(result.counterexample->kind)
+              << " counterexample in "
+              << result.counterexample->schedule.size()
+              << " steps; scenario replay reproduces it\n";
+  }
+  return rc;
+}
+
+int run_scenario(const std::string& name) {
+  McConfig cfg;
+  if (name == "ablation") {
+    cfg = ccvc::analysis::ablation_config();
+  } else {
+    FormulaMutation m = FormulaMutation::kNone;
+    if (!ccvc::clocks::parse_formula_mutation(name, m) ||
+        m == FormulaMutation::kNone) {
+      std::cerr << "unknown scenario source '" << name << "'\n";
+      return 2;
+    }
+    cfg = ccvc::analysis::mutation_probe_config(m);
+  }
+  const McResult result = ccvc::analysis::explore(cfg);
+  if (!result.violation_found()) {
+    std::cerr << "no violation found for '" << name << "'\n";
+    return 1;
+  }
+  std::cout << ccvc::analysis::to_scenario(cfg, *result.counterexample);
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: ccvc_mc exhaustive [SITES [OPS]] | ablation | "
+               "mutations | scenario NAME | all\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "exhaustive") {
+    const std::size_t sites =
+        argc > 2 ? static_cast<std::size_t>(std::stoul(argv[2])) : 3;
+    const std::size_t ops =
+        argc > 3 ? static_cast<std::size_t>(std::stoul(argv[3])) : 3;
+    return run_exhaustive(sites, ops);
+  }
+  if (cmd == "ablation") return run_ablation();
+  if (cmd == "mutations") return run_mutations();
+  if (cmd == "scenario") {
+    if (argc != 3) return usage();
+    return run_scenario(argv[2]);
+  }
+  if (cmd == "all") {
+    int rc = 0;
+    rc |= run_exhaustive(2, 2);
+    rc |= run_exhaustive(3, 3);
+    rc |= run_ablation();
+    rc |= run_mutations();
+    std::cout << (rc == 0 ? "ccvc_mc: all suites passed\n"
+                          : "ccvc_mc: FAILURES\n");
+    return rc;
+  }
+  return usage();
+}

@@ -67,12 +67,58 @@ std::uint64_t NotifierClock::from(SiteId site) const {
   return sv0_[site];
 }
 
+namespace {
+
+// Process-global mutation knob for the model checker's self-validation
+// suite; kNone everywhere else.  The simulator is single-threaded, so a
+// plain global (guarded by ScopedFormulaMutation) is sufficient.
+FormulaMutation g_mutation = FormulaMutation::kNone;
+
+// `a > b`, or `a >= b` when the named mutation is active — the
+// single-token "flip one comparison" injection point.
+bool gt(std::uint64_t a, std::uint64_t b, FormulaMutation geq_mutation) {
+  if (g_mutation == geq_mutation) return a >= b;
+  return a > b;
+}
+
+}  // namespace
+
+void set_formula_mutation(FormulaMutation m) { g_mutation = m; }
+
+FormulaMutation formula_mutation() { return g_mutation; }
+
+std::string_view to_string(FormulaMutation m) {
+  switch (m) {
+    case FormulaMutation::kNone: return "none";
+    case FormulaMutation::kF4GeqSecond: return "f4-geq-second";
+    case FormulaMutation::kF5Geq: return "f5-geq";
+    case FormulaMutation::kF6GeqSum: return "f6-geq-sum";
+    case FormulaMutation::kF7Geq: return "f7-geq";
+    case FormulaMutation::kF7DropOrigin: return "f7-drop-origin";
+  }
+  return "unknown";
+}
+
+bool parse_formula_mutation(std::string_view name, FormulaMutation& out) {
+  for (const FormulaMutation m :
+       {FormulaMutation::kNone, FormulaMutation::kF4GeqSecond,
+        FormulaMutation::kF5Geq, FormulaMutation::kF6GeqSum,
+        FormulaMutation::kF7Geq, FormulaMutation::kF7DropOrigin}) {
+    if (to_string(m) == name) {
+      out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
 bool concurrent_at_client_full(const CompressedSv& t_oa,
                                const CompressedSv& t_ob, HbSource src_ob) {
   // Formula (4): T_Oa[1] > T_Ob[1] establishes Oa ↛ Ob; T_Ob[y] > T_Oa[y]
   // establishes Ob ↛ Oa, with y selected by where Ob came from.
   const int y = (src_ob == HbSource::kFromCenter) ? 1 : 2;
-  return t_oa.at(1) > t_ob.at(1) && t_ob.at(y) > t_oa.at(y);
+  return t_oa.at(1) > t_ob.at(1) &&
+         gt(t_ob.at(y), t_oa.at(y), FormulaMutation::kF4GeqSecond);
 }
 
 bool concurrent_at_client(const CompressedSv& t_oa, const CompressedSv& t_ob,
@@ -81,7 +127,7 @@ bool concurrent_at_client(const CompressedSv& t_oa, const CompressedSv& t_ob,
   // executed before Oa's arrival (star topology + FIFO), so only
   // T_Ob[y] > T_Oa[y] is checked.
   const int y = (src_ob == HbSource::kFromCenter) ? 1 : 2;
-  return t_ob.at(y) > t_oa.at(y);
+  return gt(t_ob.at(y), t_oa.at(y), FormulaMutation::kF5Geq);
 }
 
 bool concurrent_at_notifier_full(const CompressedSv& t_oa, SiteId x,
@@ -94,21 +140,23 @@ bool concurrent_at_notifier_full(const CompressedSv& t_oa, SiteId x,
   //               (x ≠ y ∧ Σ_{j≠x} T_Ob[j] > T_Oa[1])).
   if (!(t_oa.at(2) > t_ob[x])) return false;
   if (x == y) return t_ob[y] > t_oa.at(2);
-  return t_ob.sum_except(x) > t_oa.at(1);
+  return gt(t_ob.sum_except(x), t_oa.at(1), FormulaMutation::kF6GeqSum);
 }
 
 bool concurrent_at_notifier(const CompressedSv& t_oa, SiteId x,
                             const VersionVector& t_ob, SiteId y) {
   CCVC_CHECK(x >= 1 && x < t_ob.size());
   // Formula (7): FIFO guarantees both Oa ↛ Ob and, for x = y, Ob → Oa.
-  return x != y && t_ob.sum_except(x) > t_oa.at(1);
+  if (x == y && g_mutation != FormulaMutation::kF7DropOrigin) return false;
+  return gt(t_ob.sum_except(x), t_oa.at(1), FormulaMutation::kF7Geq);
 }
 
 bool concurrent_at_notifier_o1(const CompressedSv& t_oa, SiteId x,
                                std::uint64_t t_ob_sum, std::uint64_t t_ob_x,
                                SiteId y) {
   // Σ_{j≠x} T_Ob[j] = Σ_j T_Ob[j] − T_Ob[x], both available in O(1).
-  return x != y && (t_ob_sum - t_ob_x) > t_oa.at(1);
+  if (x == y && g_mutation != FormulaMutation::kF7DropOrigin) return false;
+  return gt(t_ob_sum - t_ob_x, t_oa.at(1), FormulaMutation::kF7Geq);
 }
 
 }  // namespace ccvc::clocks

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "clocks/version_vector.hpp"
 #include "util/types.hpp"
@@ -130,6 +131,56 @@ class NotifierClock {
 enum class HbSource : std::uint8_t {
   kFromCenter,  ///< y = 1: propagated from site 0
   kLocal,       ///< y = 2: generated at this site
+};
+
+/// Single-token mutations of the concurrency formulas, used by the model
+/// checker's self-validation suite (src/analysis/explorer.hpp): a
+/// checker that cannot find a counterexample against a deliberately
+/// broken formula proves nothing about the intact one.  Each mutation
+/// flips exactly one comparison (or drops one conjunct) in one formula;
+/// the functions below consult the process-global setting.
+///
+/// Deliberately absent: mutations of formula (4)'s *first* conjunct.
+/// Under star-topology FIFO delivery that conjunct is always true when
+/// the check runs (that is the paper's (4)→(5) argument), so no reachable
+/// schedule can distinguish it — the checker would rightly find nothing.
+enum class FormulaMutation : std::uint8_t {
+  kNone,
+  kF4GeqSecond,   ///< (4): second conjunct `>` → `>=`
+  kF5Geq,         ///< (5): `>` → `>=`
+  kF6GeqSum,      ///< (6): Σ-branch `>` → `>=`
+  kF7Geq,         ///< (7): `>` → `>=`
+  kF7DropOrigin,  ///< (7): drop the `x ≠ y` conjunct
+};
+
+/// Sets/reads the process-global mutation (single-threaded simulator;
+/// kNone in every production path).
+void set_formula_mutation(FormulaMutation m);
+FormulaMutation formula_mutation();
+
+/// Stable names for scenario scripts and CLI flags ("none", "f5-geq",
+/// "f7-drop-origin", ...).
+std::string_view to_string(FormulaMutation m);
+
+/// Parses a mutation name; returns false (and leaves `out` untouched) on
+/// an unknown name.
+bool parse_formula_mutation(std::string_view name, FormulaMutation& out);
+
+/// RAII guard: installs a mutation for a scope, restores the previous
+/// one on exit.  The explorer wraps each self-validation run in one so a
+/// thrown ContractViolation cannot leak a broken formula into the next.
+class ScopedFormulaMutation {
+ public:
+  explicit ScopedFormulaMutation(FormulaMutation m)
+      : previous_(formula_mutation()) {
+    set_formula_mutation(m);
+  }
+  ~ScopedFormulaMutation() { set_formula_mutation(previous_); }
+  ScopedFormulaMutation(const ScopedFormulaMutation&) = delete;
+  ScopedFormulaMutation& operator=(const ScopedFormulaMutation&) = delete;
+
+ private:
+  FormulaMutation previous_;
 };
 
 /// Formula (4) — general concurrency check at a client site between an

@@ -192,11 +192,16 @@ void ClientSite::on_center_message(const net::Payload& bytes) {
               : msg.stamp.full.concurrent_with(e.full);
       if (conc) formula_concurrent.push_back(e.id);
       if (observer_) {
-        observer_->on_verdict(Verdict{
-            id_,
-            EventKey{msg.id, true},
-            EventKey{e.id, e.source == clocks::HbSource::kFromCenter},
-            conc});
+        Verdict v;
+        v.at_site = id_;
+        v.incoming = EventKey{msg.id, true};
+        v.buffered = EventKey{e.id, e.source == clocks::HbSource::kFromCenter};
+        v.concurrent = conc;
+        v.t_incoming = msg.stamp.csv;
+        v.origin_incoming = id_;
+        v.buffered_source = e.source;
+        v.t_buffered = e.stamp;
+        observer_->on_verdict(v);
       }
     }
   }

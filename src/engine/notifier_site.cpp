@@ -155,9 +155,16 @@ void NotifierSite::on_client_message(SiteId from, const net::Payload& bytes) {
                  msg.stamp.full.concurrent_with(e.stamp));
       if (conc) formula_concurrent.push_back(e.id);
       if (observer_) {
-        observer_->on_verdict(Verdict{kNotifierSite,
-                                      EventKey{msg.id, false},
-                                      EventKey{e.id, true}, conc});
+        Verdict v;
+        v.at_site = kNotifierSite;
+        v.incoming = EventKey{msg.id, false};
+        v.buffered = EventKey{e.id, true};
+        v.concurrent = conc;
+        v.t_incoming = msg.stamp.csv;
+        v.origin_incoming = from;
+        v.t_buffered_full = e.stamp;
+        v.origin_buffered = e.origin;
+        observer_->on_verdict(v);
       }
     }
   }

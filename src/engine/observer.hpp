@@ -12,6 +12,7 @@
 // transformed re-issue O'_k.
 #pragma once
 
+#include "clocks/compressed_sv.hpp"
 #include "clocks/version_vector.hpp"
 #include "ot/text_op.hpp"
 #include "util/types.hpp"
@@ -38,6 +39,20 @@ struct Verdict {
   EventKey incoming;
   EventKey buffered;
   bool concurrent = false;
+
+  // --- evidence (compressed stamp mode) -----------------------------
+  // The exact timestamps the formula was evaluated on, so an external
+  // checker (sim/invariants.hpp) can re-derive the verdict with both
+  // the general formulas (4)/(6) and the FIFO-simplified (5)/(7) and
+  // assert their equivalence on every decision.  Default-constructed in
+  // full-vector mode, where the fields have no meaning.
+  clocks::CompressedSv t_incoming;  ///< 2-element stamp of the incoming op
+  SiteId origin_incoming = 0;       ///< client checks: the site itself;
+                                    ///< notifier checks: sender x
+  clocks::HbSource buffered_source = clocks::HbSource::kLocal;  ///< y (client)
+  clocks::CompressedSv t_buffered;        ///< client HB entry stamp
+  clocks::VersionVector t_buffered_full;  ///< notifier HB entry stamp
+  SiteId origin_buffered = 0;             ///< notifier checks: origin y
 };
 
 class EngineObserver {

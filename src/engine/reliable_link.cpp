@@ -122,21 +122,24 @@ ReliableLink::State ReliableLink::state() const {
 }
 
 void ReliableLink::encode_state(util::ByteSink& sink) const {
-  sink.put_uvarint(next_seq_);
-  sink.put_uvarint(expected_);
-  sink.put_u8(ack_due_ ? 1 : 0);
-  sink.put_uvarint(unacked_.size());
-  for (const Unacked& e : unacked_) {
-    sink.put_uvarint(e.seq);
-    sink.put_uvarint(e.payload.size());
-    sink.put_raw(e.payload.data(), e.payload.size());
-  }
-  sink.put_uvarint(out_of_order_.size());
-  for (const auto& [seq, payload] : out_of_order_) {
-    sink.put_uvarint(seq);
-    sink.put_uvarint(payload.size());
-    sink.put_raw(payload.data(), payload.size());
-  }
+  encode_state(state(), sink);
+}
+
+void ReliableLink::encode_state(const State& state, util::ByteSink& sink) {
+  auto put_entries =
+      [&sink](const std::vector<std::pair<std::uint64_t, net::Payload>>& es) {
+        sink.put_uvarint(es.size());
+        for (const auto& [seq, payload] : es) {
+          sink.put_uvarint(seq);
+          sink.put_uvarint(payload.size());
+          sink.put_raw(payload.data(), payload.size());
+        }
+      };
+  sink.put_uvarint(state.next_seq);
+  sink.put_uvarint(state.expected);
+  sink.put_u8(state.ack_due ? 1 : 0);
+  put_entries(state.unacked);
+  put_entries(state.out_of_order);
 }
 
 ReliableLink::State ReliableLink::decode_state(util::ByteSource& src) {

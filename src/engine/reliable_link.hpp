@@ -122,6 +122,7 @@ class ReliableLink : public std::enable_shared_from_this<ReliableLink> {
 
   State state() const;
   void encode_state(util::ByteSink& sink) const;
+  static void encode_state(const State& state, util::ByteSink& sink);
   static State decode_state(util::ByteSource& src);
 
   /// Rebuilds a link mid-conversation; re-arms the retransmit timer if

@@ -10,10 +10,6 @@ namespace ccvc::engine {
 
 namespace {
 constexpr std::uint8_t kTagSessionCkpt = 0xD3;
-// Notifier durable checkpoint: engine state + every notifier-side link
-// state, captured atomically (crash_notifier's replay determinism
-// depends on the engine and link cursors being from the same instant).
-constexpr std::uint8_t kTagNotifierCkpt = 0xD4;
 }  // namespace
 
 ClientSite::SendFn StarSession::client_send_fn(SiteId i) {
@@ -262,16 +258,14 @@ void StarSession::restore_notifier(const net::Payload& ckpt) {
 void StarSession::checkpoint_notifier() {
   CCVC_CHECK_MSG(cfg_.reliability.enabled,
                  "notifier checkpoints require the reliability layer");
-  util::ByteSink sink;
-  sink.put_u8(kTagNotifierCkpt);
-  sink.put_uvarint(cfg_.num_sites);
-  const net::Payload blob = save_checkpoint(*notifier_);
-  sink.put_uvarint(blob.size());
-  sink.put_raw(blob.data(), blob.size());
+  NotifierBundle bundle;
+  bundle.num_sites = cfg_.num_sites;
+  bundle.notifier = notifier_->state();
+  bundle.links.reserve(cfg_.num_sites);
   for (SiteId i = 1; i <= cfg_.num_sites; ++i) {
-    notifier_links_[i]->encode_state(sink);
+    bundle.links.push_back(notifier_links_[i]->state());
   }
-  notifier_ckpt_ = sink.bytes();
+  notifier_ckpt_ = encode_notifier_bundle(bundle);
   CCVC_METRIC_COUNT("session.checkpoints", 1);
   CCVC_METRIC_HIST("session.checkpoint_bytes", notifier_ckpt_.size());
   CCVC_TRACE(util::trace::EventType::kCheckpoint, queue_.now(), kNotifierSite,
@@ -282,29 +276,15 @@ void StarSession::checkpoint_notifier() {
   ++checkpoints_taken_;
 }
 
-void StarSession::restore_notifier_bundle(const net::Payload& bundle) {
-  util::ByteSource src(bundle);
-  CCVC_CHECK_MSG(src.get_u8() == kTagNotifierCkpt,
-                 "not a notifier checkpoint bundle");
-  const auto sites = static_cast<std::size_t>(src.get_uvarint());
-  CCVC_CHECK_MSG(sites == cfg_.num_sites,
+void StarSession::restore_notifier_bundle(const net::Payload& bytes) {
+  const NotifierBundle bundle = decode_notifier_bundle(bytes);
+  CCVC_CHECK_MSG(bundle.num_sites == cfg_.num_sites,
                  "notifier checkpoint membership mismatch");
-  const std::uint64_t n = src.get_uvarint();
-  if (n > src.remaining()) {
-    throw util::DecodeError("corrupt notifier bundle: blob length");
-  }
-  net::Payload blob;
-  blob.reserve(static_cast<std::size_t>(n));
-  for (std::uint64_t k = 0; k < n; ++k) blob.push_back(src.get_u8());
-
-  notifier_ = std::make_unique<NotifierSite>(load_notifier_checkpoint(blob),
-                                             cfg_.engine, center_send_fn(),
-                                             observer_);
+  notifier_ = std::make_unique<NotifierSite>(bundle.notifier, cfg_.engine,
+                                             center_send_fn(), observer_);
   for (SiteId i = 1; i <= cfg_.num_sites; ++i) {
-    const ReliableLink::State state = ReliableLink::decode_state(src);
-    make_notifier_link(i, &state);
+    make_notifier_link(i, &bundle.links[i - 1]);
   }
-  CCVC_CHECK_MSG(src.exhausted(), "trailing bytes in notifier bundle");
 }
 
 void StarSession::crash_notifier() {

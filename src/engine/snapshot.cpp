@@ -9,6 +9,7 @@ namespace {
 
 constexpr std::uint8_t kTagClientCkpt = 0xD1;
 constexpr std::uint8_t kTagNotifierCkpt = 0xD2;
+constexpr std::uint8_t kTagNotifierBundle = 0xD4;
 
 // Checkpoints keep full primitive state, including captured delete text
 // (the wire codec deliberately drops it; see text_op.cpp).
@@ -132,7 +133,10 @@ ClientSite::State load_client_checkpoint(const net::Payload& bytes) {
 }
 
 net::Payload save_checkpoint(const NotifierSite& site) {
-  const NotifierSite::State s = site.state();
+  return encode_notifier_state(site.state());
+}
+
+net::Payload encode_notifier_state(const NotifierSite::State& s) {
   util::ByteSink sink;
   sink.put_u8(kTagNotifierCkpt);
   sink.put_uvarint(s.num_sites);
@@ -206,6 +210,47 @@ NotifierSite::State load_notifier_checkpoint(const net::Payload& bytes) {
   s.hb_collected = src.get_uvarint();
   CCVC_CHECK_MSG(src.exhausted(), "trailing bytes in notifier checkpoint");
   return s;
+}
+
+net::Payload encode_notifier_bundle(const NotifierBundle& bundle) {
+  CCVC_CHECK_MSG(bundle.links.size() == bundle.num_sites,
+                 "notifier bundle needs one link state per site");
+  util::ByteSink sink;
+  sink.put_u8(kTagNotifierBundle);
+  sink.put_uvarint(bundle.num_sites);
+  const net::Payload blob = encode_notifier_state(bundle.notifier);
+  sink.put_uvarint(blob.size());
+  sink.put_raw(blob.data(), blob.size());
+  for (const ReliableLink::State& link : bundle.links) {
+    ReliableLink::encode_state(link, sink);
+  }
+  return sink.bytes();
+}
+
+NotifierBundle decode_notifier_bundle(const net::Payload& bytes) {
+  util::ByteSource src(bytes);
+  if (src.get_u8() != kTagNotifierBundle) {
+    throw util::DecodeError("not a notifier checkpoint bundle");
+  }
+  NotifierBundle bundle;
+  bundle.num_sites = static_cast<std::size_t>(src.get_uvarint());
+  const std::uint64_t n = src.get_uvarint();
+  if (n > src.remaining()) {
+    throw util::DecodeError("corrupt notifier bundle: blob length");
+  }
+  net::Payload blob;
+  blob.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t k = 0; k < n; ++k) blob.push_back(src.get_u8());
+  bundle.notifier = load_notifier_checkpoint(blob);
+  // One link state per site; each consumes ≥ 3 bytes or throws, so a
+  // hostile num_sites cannot loop past the input.
+  for (std::size_t i = 0; i < bundle.num_sites; ++i) {
+    bundle.links.push_back(ReliableLink::decode_state(src));
+  }
+  if (!src.exhausted()) {
+    throw util::DecodeError("trailing bytes in notifier bundle");
+  }
+  return bundle;
 }
 
 }  // namespace ccvc::engine

@@ -14,8 +14,12 @@
 // restarted (snapshot_test).
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "engine/client_site.hpp"
 #include "engine/notifier_site.hpp"
+#include "engine/reliable_link.hpp"
 #include "net/channel.hpp"
 
 namespace ccvc::engine {
@@ -24,6 +28,31 @@ net::Payload save_checkpoint(const ClientSite& site);
 ClientSite::State load_client_checkpoint(const net::Payload& bytes);
 
 net::Payload save_checkpoint(const NotifierSite& site);
+/// Same encoding, from an already-extracted state (the bundle codec and
+/// tests use this; save_checkpoint(site) is state() + this).
+net::Payload encode_notifier_state(const NotifierSite::State& state);
 NotifierSite::State load_notifier_checkpoint(const net::Payload& bytes);
+
+/// The notifier's *atomic* crash-recovery checkpoint (wire tag 0xD4):
+/// the engine state plus every notifier-side reliability-link state,
+/// captured together so a restart cannot observe an engine/link split.
+/// StarSession writes one on construction and membership changes and
+/// restores from it in crash_notifier() (docs/FAULTS.md).
+struct NotifierBundle {
+  std::size_t num_sites = 0;               ///< membership at capture time
+  NotifierSite::State notifier;            ///< 0xD2 engine checkpoint
+  std::vector<ReliableLink::State> links;  ///< [0] = site 1, ..., one per site
+
+  friend bool operator==(const NotifierBundle&, const NotifierBundle&) =
+      default;
+};
+
+/// Layout: 0xD4, uvarint num_sites, uvarint blob-length + the 0xD2
+/// notifier blob, then num_sites ReliableLink states (site order).
+net::Payload encode_notifier_bundle(const NotifierBundle& bundle);
+
+/// Throws util::DecodeError / ContractViolation on malformed input
+/// (fuzzed surface: fuzz/fuzz_checkpoint.cpp).
+NotifierBundle decode_notifier_bundle(const net::Payload& bytes);
 
 }  // namespace ccvc::engine

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/checksum.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
@@ -92,8 +93,19 @@ void Channel::schedule_delivery(Payload bytes, SimTime sent_at) {
                    util::metrics::to_us(deliver_at - sent_at));
 
   in_flight_ += 1;
+  // Choice-mode schedulers need to see *what* each pending event is;
+  // the CRC identifies the payload without anyone decoding it.  The
+  // timed fast path skips the hash entirely.
+  EventMeta meta;
+  if (queue_.choice_mode()) {
+    meta.kind = EventKind::kDeliver;
+    meta.from = trace_site_;
+    meta.to = dest_site_;
+    meta.payload_crc = util::crc32(bytes);
+  }
   queue_.schedule_at(
-      deliver_at, [this, epoch = epoch_, payload = std::move(bytes)]() {
+      deliver_at,
+      [this, epoch = epoch_, payload = std::move(bytes)]() {
         if (epoch != epoch_) return;  // voided by drop_in_flight()
         in_flight_ -= 1;
         CCVC_CHECK_MSG(static_cast<bool>(receiver_),
@@ -101,7 +113,8 @@ void Channel::schedule_delivery(Payload bytes, SimTime sent_at) {
         CCVC_TRACE(util::trace::EventType::kChannelDeliver, queue_.now(),
                    trace_site_, payload.size(), 0);
         receiver_(payload);
-      });
+      },
+      meta);
 }
 
 void Channel::drop_in_flight() {
@@ -125,6 +138,7 @@ Channel& Network::add_channel(SiteId from, SiteId to,
   auto ch = std::make_unique<Channel>(queue_, latency, rng_.fork(),
                                       std::move(name), ordering);
   ch->set_trace_site(from);
+  ch->set_dest_site(to);
   auto [it, inserted] = channels_.emplace(key, std::move(ch));
   (void)inserted;
   return *it->second;

@@ -93,6 +93,11 @@ class Channel {
   /// Network::add_channel sets it; a bare Channel traces as site 0.
   void set_trace_site(SiteId site) { trace_site_ = site; }
 
+  /// Receiving endpoint, stamped on choice-mode delivery events so a
+  /// Scheduler can recognize "the delivery from → to".  Network::
+  /// add_channel sets it; a bare Channel reports destination 0.
+  void set_dest_site(SiteId site) { dest_site_ = site; }
+
  private:
   void schedule_delivery(Payload bytes, SimTime sent_at);
 
@@ -105,6 +110,7 @@ class Channel {
   std::string name_;
   Ordering ordering_;
   SiteId trace_site_ = 0;
+  SiteId dest_site_ = 0;
 
   FaultPlan plan_;
   FaultStats fault_stats_;

@@ -1,22 +1,49 @@
 #include "net/event_queue.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/check.hpp"
 #include "util/metrics.hpp"
 
 namespace ccvc::net {
 
-void EventQueue::schedule_at(SimTime t, Action action) {
+void EventQueue::schedule_at(SimTime t, Action action, EventMeta meta) {
   CCVC_CHECK_MSG(t >= now_, "cannot schedule into the past");
-  heap_.push(Event{t, next_seq_++, std::move(action)});
-  CCVC_METRIC_GAUGE_SET("net.queue.depth", heap_.size());
+  if (choice_mode()) {
+    events_.push_back(Event{t, next_seq_++, std::move(action), meta});
+  } else {
+    heap_.push(Event{t, next_seq_++, std::move(action), meta});
+  }
+  CCVC_METRIC_GAUGE_SET("net.queue.depth", pending());
 }
 
-void EventQueue::schedule_in(SimTime dt, Action action) {
+void EventQueue::schedule_in(SimTime dt, Action action, EventMeta meta) {
   CCVC_CHECK_MSG(dt >= 0.0, "negative delay");
-  schedule_at(now_ + dt, std::move(action));
+  schedule_at(now_ + dt, std::move(action), meta);
 }
 
 bool EventQueue::step() {
+  if (choice_mode()) {
+    if (events_.empty()) return false;
+    std::vector<PendingEvent> view;
+    view.reserve(events_.size());
+    for (const Event& ev : events_) {
+      view.push_back(PendingEvent{ev.t, ev.seq, ev.meta});
+    }
+    const std::size_t idx = scheduler_->choose(view);
+    CCVC_CHECK_MSG(idx < events_.size(), "scheduler chose an invalid index");
+    Event ev = std::move(events_[idx]);
+    events_.erase(events_.begin() + static_cast<std::ptrdiff_t>(idx));
+    // Under an arbitrary policy an event can run "late"; time never runs
+    // backwards, so a late event executes at the current clock.
+    now_ = std::max(now_, ev.t);
+    last_event_time_ = now_;
+    CCVC_METRIC_COUNT("net.queue.events_run", 1);
+    CCVC_METRIC_GAUGE_SET("net.queue.depth", pending());
+    ev.fn();
+    return true;
+  }
   if (heap_.empty()) return false;
   // priority_queue::top is const; moving the action out requires the
   // const_cast dance or a copy — copy the small wrapper instead.
@@ -25,7 +52,7 @@ bool EventQueue::step() {
   now_ = ev.t;
   last_event_time_ = ev.t;
   CCVC_METRIC_COUNT("net.queue.events_run", 1);
-  CCVC_METRIC_GAUGE_SET("net.queue.depth", heap_.size());
+  CCVC_METRIC_GAUGE_SET("net.queue.depth", pending());
   ev.fn();
   return true;
 }
@@ -37,6 +64,9 @@ std::size_t EventQueue::run(std::size_t max_events) {
 }
 
 std::size_t EventQueue::run_until(SimTime t_end) {
+  CCVC_CHECK_MSG(!choice_mode(),
+                 "run_until is a timed-mode API; a scheduling policy has "
+                 "no notion of 'events before t'");
   std::size_t n = 0;
   while (!heap_.empty() && heap_.top().t <= t_end) {
     step();
@@ -44,6 +74,25 @@ std::size_t EventQueue::run_until(SimTime t_end) {
   }
   if (now_ < t_end) now_ = t_end;
   return n;
+}
+
+void EventQueue::set_scheduler(Scheduler* scheduler) {
+  if (scheduler_ == scheduler) return;
+  CCVC_CHECK_MSG(pending() == 0,
+                 "scheduling policy can only change while the queue is "
+                 "empty (the two modes use different storage)");
+  scheduler_ = scheduler;
+}
+
+std::vector<PendingEvent> EventQueue::pending_events() const {
+  CCVC_CHECK_MSG(choice_mode(),
+                 "pending_events() is a choice-mode introspection API");
+  std::vector<PendingEvent> view;
+  view.reserve(events_.size());
+  for (const Event& ev : events_) {
+    view.push_back(PendingEvent{ev.t, ev.seq, ev.meta});
+  }
+  return view;
 }
 
 }  // namespace ccvc::net

@@ -5,6 +5,17 @@
 // Determinism matters: every experiment must be reproducible from a
 // seed, so event ordering breaks timestamp ties by insertion sequence,
 // never by container iteration order.
+//
+// Two execution modes:
+//
+//  * Default (timed): a min-heap; step() runs the earliest event.  This
+//    is the experiment path and is untouched by the refactor below.
+//  * Choice mode (set_scheduler): pending events live in a flat list and
+//    every step() asks the installed Scheduler (net/scheduler.hpp) which
+//    one runs next.  TimedScheduler reproduces the heap order exactly;
+//    the model checker's FunctionScheduler enumerates interleavings.
+//    Time stays monotone (now() never goes backwards) but loses its
+//    "earliest first" meaning — which is precisely the point.
 #pragma once
 
 #include <cstdint>
@@ -12,10 +23,9 @@
 #include <queue>
 #include <vector>
 
-namespace ccvc::net {
+#include "net/scheduler.hpp"
 
-/// Simulated wall-clock time in milliseconds.
-using SimTime = double;
+namespace ccvc::net {
 
 /// A min-heap of timed callbacks.  Single-threaded by design: group
 /// editors are latency-bound, not compute-bound, and a sequential DES
@@ -26,13 +36,16 @@ class EventQueue {
 
   SimTime now() const { return now_; }
 
-  /// Schedules `action` at absolute time `t` (≥ now()).
-  void schedule_at(SimTime t, Action action);
+  /// Schedules `action` at absolute time `t` (≥ now()).  `meta` carries
+  /// scheduling metadata for choice mode; producers that are not
+  /// channels can leave it defaulted (kGeneric).
+  void schedule_at(SimTime t, Action action, EventMeta meta = {});
 
   /// Schedules `action` `dt` milliseconds from now (dt ≥ 0).
-  void schedule_in(SimTime dt, Action action);
+  void schedule_in(SimTime dt, Action action, EventMeta meta = {});
 
-  /// Runs the earliest pending event.  Returns false if none are left.
+  /// Runs one pending event — the earliest in timed mode, the installed
+  /// scheduler's choice in choice mode.  Returns false if none are left.
   bool step();
 
   /// Runs events until the queue drains or `max_events` have run;
@@ -40,21 +53,40 @@ class EventQueue {
   std::size_t run(std::size_t max_events = static_cast<std::size_t>(-1));
 
   /// Runs events with timestamps ≤ `t_end`; afterwards now() == t_end if
-  /// the queue drained up to it.  Returns the number executed.
+  /// the queue drained up to it.  Returns the number executed.  Timed
+  /// mode only: "events before t" is meaningless under an arbitrary
+  /// scheduling policy.
   std::size_t run_until(SimTime t_end);
 
-  std::size_t pending() const { return heap_.size(); }
+  std::size_t pending() const { return heap_.size() + events_.size(); }
 
   /// Timestamp of the most recently executed event.  Unlike now(),
   /// run_until() does not advance this past the final event, so after
   /// a drained run it marks the true quiescence instant.
   SimTime last_event_time() const { return last_event_time_; }
 
+  // --- choice mode ----------------------------------------------------
+
+  /// Installs a scheduling policy and switches to choice mode, or (with
+  /// nullptr) restores the default timed heap.  Only legal while no
+  /// events are pending: the two modes use different storage, and a
+  /// mid-run policy swap would silently reorder what is in flight.  The
+  /// scheduler is borrowed, not owned — it must outlive the queue or be
+  /// uninstalled first.
+  void set_scheduler(Scheduler* scheduler);
+
+  bool choice_mode() const { return scheduler_ != nullptr; }
+
+  /// Snapshot of every pending event's scheduling view (choice mode
+  /// only).  Index order matches what the scheduler's choose() sees.
+  std::vector<PendingEvent> pending_events() const;
+
  private:
   struct Event {
     SimTime t;
     std::uint64_t seq;  // FIFO tie-break for simultaneous events
     Action fn;
+    EventMeta meta;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -67,6 +99,10 @@ class EventQueue {
   SimTime last_event_time_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
+
+  // Choice mode: pending events in scheduling order, consulted policy.
+  Scheduler* scheduler_ = nullptr;
+  std::vector<Event> events_;
 };
 
 }  // namespace ccvc::net

@@ -1,0 +1,36 @@
+#include "net/scheduler.hpp"
+
+#include "util/check.hpp"
+
+namespace ccvc::net {
+
+std::size_t timed_choice(const std::vector<PendingEvent>& pending) {
+  CCVC_CHECK_MSG(!pending.empty(), "no pending events to choose from");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < pending.size(); ++i) {
+    const PendingEvent& a = pending[i];
+    const PendingEvent& b = pending[best];
+    if (a.t < b.t || (a.t == b.t && a.seq < b.seq)) best = i;
+  }
+  return best;
+}
+
+std::size_t TimedScheduler::choose(const std::vector<PendingEvent>& pending) {
+  return timed_choice(pending);
+}
+
+std::size_t fifo_head(const std::vector<PendingEvent>& pending, SiteId from,
+                      SiteId to) {
+  std::size_t head = npos;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const PendingEvent& ev = pending[i];
+    if (ev.meta.kind != EventKind::kDeliver || ev.meta.from != from ||
+        ev.meta.to != to) {
+      continue;
+    }
+    if (head == npos || ev.seq < pending[head].seq) head = i;
+  }
+  return head;
+}
+
+}  // namespace ccvc::net

@@ -1,0 +1,108 @@
+// Pluggable event scheduling policy for the simulation core.
+//
+// The default EventQueue is a timed min-heap: the earliest pending event
+// always runs next.  That is the right semantics for experiments, but it
+// samples exactly ONE interleaving per seed.  The bounded model checker
+// (src/analysis/explorer.hpp) needs to enumerate *all* delivery
+// interleavings, which requires the "what runs next?" decision to be a
+// policy, not a data structure.
+//
+// A Scheduler is that policy: given the full set of pending events (with
+// enough metadata to recognize channel deliveries), it picks the index
+// of the one to run.  TimedScheduler reproduces the classic heap
+// ordering exactly — installing it changes nothing observable — while
+// FunctionScheduler lets a driver (the explorer, or a scenario script in
+// manual mode) force arbitrary choices.
+//
+// EventQueue::set_scheduler switches the queue into "choice mode": the
+// heap is bypassed and every step() consults the scheduler.  See
+// event_queue.hpp for the mode's invariants.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ccvc::net {
+
+/// Simulated wall-clock time in milliseconds.  (Owned here so both the
+/// queue and the scheduler interface can name it; event_queue.hpp
+/// re-exports it to the rest of the tree.)
+using SimTime = double;
+
+/// What a pending event *is*, as far as a scheduling policy can care.
+enum class EventKind : std::uint8_t {
+  kGeneric,  ///< timers, workload edits, administrative actions
+  kDeliver,  ///< a channel delivery (metadata below is meaningful)
+};
+
+/// Metadata a producer attaches when scheduling an event.  Channels tag
+/// their deliveries with endpoints and a payload CRC so schedulers and
+/// state-fingerprinting code can see *what* is in flight without
+/// decoding anything.
+struct EventMeta {
+  EventKind kind = EventKind::kGeneric;
+  SiteId from = 0;                ///< kDeliver: sending endpoint
+  SiteId to = 0;                  ///< kDeliver: receiving endpoint
+  std::uint32_t payload_crc = 0;  ///< kDeliver: CRC-32 of the payload
+
+  friend bool operator==(const EventMeta&, const EventMeta&) = default;
+};
+
+/// A scheduler's read-only view of one pending event.
+struct PendingEvent {
+  SimTime t = 0.0;
+  std::uint64_t seq = 0;  ///< scheduling order; FIFO tie-break
+  EventMeta meta;
+};
+
+/// Scheduling policy: pick which pending event runs next.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Returns the index (into `pending`) of the event to run.  `pending`
+  /// is never empty; the result must be < pending.size().
+  virtual std::size_t choose(const std::vector<PendingEvent>& pending) = 0;
+};
+
+/// The classic discrete-event policy: earliest timestamp wins, ties
+/// break by scheduling order.  Byte-identical to the heap fast path.
+class TimedScheduler : public Scheduler {
+ public:
+  std::size_t choose(const std::vector<PendingEvent>& pending) override;
+};
+
+/// Delegates every choice to a callable — the explorer's choose-point
+/// hook and the scenario DSL's `step` statements are built on this.
+class FunctionScheduler : public Scheduler {
+ public:
+  using ChooseFn = std::function<std::size_t(const std::vector<PendingEvent>&)>;
+
+  explicit FunctionScheduler(ChooseFn fn) : fn_(std::move(fn)) {}
+
+  std::size_t choose(const std::vector<PendingEvent>& pending) override {
+    return fn_(pending);
+  }
+
+ private:
+  ChooseFn fn_;
+};
+
+/// Index of the timed-order pick: earliest (t, seq).  Shared by
+/// TimedScheduler and fallback paths.  `pending` must be non-empty.
+std::size_t timed_choice(const std::vector<PendingEvent>& pending);
+
+/// Index of the FIFO head (lowest seq) among pending kDeliver events on
+/// the directed channel `from` → `to`, or `npos` if none is in flight.
+/// Under FIFO channels the head is the only delivery that may legally
+/// run next on that channel, so this is the explorer's per-channel
+/// choose-point.
+inline constexpr std::size_t npos = static_cast<std::size_t>(-1);
+std::size_t fifo_head(const std::vector<PendingEvent>& pending, SiteId from,
+                      SiteId to);
+
+}  // namespace ccvc::net

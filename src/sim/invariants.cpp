@@ -1,0 +1,49 @@
+#include "sim/invariants.hpp"
+
+#include <sstream>
+
+#include "clocks/compressed_sv.hpp"
+
+namespace ccvc::sim {
+
+void VerdictInvariantChecker::on_verdict(const engine::Verdict& v) {
+  ++verdicts_;
+
+  bool general = false;
+  bool simplified = false;
+  if (v.at_site == kNotifierSite) {
+    // Formulas (6)/(7): incoming Oa from site x against buffered Ob
+    // (full-vector stamp) originated at site y.
+    const SiteId x = v.origin_incoming;
+    const SiteId y = v.origin_buffered;
+    if (x == 0 || x >= v.t_buffered_full.size() || y == 0 ||
+        y >= v.t_buffered_full.size()) {
+      ++skipped_;
+      return;
+    }
+    general =
+        clocks::concurrent_at_notifier_full(v.t_incoming, x,
+                                            v.t_buffered_full, y);
+    simplified = clocks::concurrent_at_notifier(v.t_incoming, x,
+                                                v.t_buffered_full, y);
+  } else {
+    // Formulas (4)/(5): incoming center op O'a against buffered Ob.
+    general = clocks::concurrent_at_client_full(v.t_incoming, v.t_buffered,
+                                                v.buffered_source);
+    simplified = clocks::concurrent_at_client(v.t_incoming, v.t_buffered,
+                                              v.buffered_source);
+  }
+
+  if (general == simplified && simplified == v.concurrent) return;
+  ++equivalence_violations_;
+  if (samples_.size() < 8) {
+    std::ostringstream os;
+    os << "at site " << v.at_site << ": " << to_string(v.incoming) << " vs "
+       << to_string(v.buffered) << " — general=" << general
+       << " simplified=" << simplified << " verdict=" << v.concurrent
+       << " (t_incoming=" << v.t_incoming.str() << ")";
+    samples_.push_back(os.str());
+  }
+}
+
+}  // namespace ccvc::sim

@@ -1,0 +1,54 @@
+// Formula-equivalence invariant: (5) ≡ (4) and (7) ≡ (6) on every
+// concurrency decision.
+//
+// The paper's correctness argument (§4) is that under star-topology FIFO
+// delivery the general concurrency conditions (4)/(6) collapse to the
+// cheap on-line forms (5)/(7).  The engines evaluate only the cheap
+// forms; this observer re-derives *both* from the evidence fields each
+// Verdict carries (the exact timestamps the decision was made on) and
+// flags any decision where
+//
+//   * the general and simplified forms disagree, or
+//   * the engine's recorded verdict disagrees with the recomputation
+//     (possible only through a bug — or a deliberately injected
+//     FormulaMutation, which is how the model checker's self-validation
+//     suite proves this invariant has teeth).
+//
+// Compressed stamp mode only: the evidence fields are default-
+// constructed (meaningless) in full-vector mode, so the checker must not
+// be attached there.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/observer.hpp"
+
+namespace ccvc::sim {
+
+class VerdictInvariantChecker : public engine::EngineObserver {
+ public:
+  VerdictInvariantChecker() = default;
+
+  void on_verdict(const engine::Verdict& verdict) override;
+
+  std::uint64_t verdicts() const { return verdicts_; }
+  std::uint64_t equivalence_violations() const {
+    return equivalence_violations_;
+  }
+  /// Decisions whose buffered stamp predates the checking site's current
+  /// membership (late-join width mismatch) — the general form's
+  /// preconditions do not hold there, so they are not judged.
+  std::uint64_t skipped() const { return skipped_; }
+  /// First few violating decisions, rendered for diagnostics.
+  const std::vector<std::string>& samples() const { return samples_; }
+
+ private:
+  std::uint64_t verdicts_ = 0;
+  std::uint64_t equivalence_violations_ = 0;
+  std::uint64_t skipped_ = 0;
+  std::vector<std::string> samples_;
+};
+
+}  // namespace ccvc::sim

@@ -6,7 +6,8 @@
 namespace ccvc::sim {
 
 StarRunReport run_star(const engine::StarSessionConfig& session_cfg,
-                       const WorkloadConfig& workload_cfg) {
+                       const WorkloadConfig& workload_cfg,
+                       net::Scheduler* scheduler) {
   ObserverMux mux;
   CausalityOracle oracle(session_cfg.num_sites, session_cfg.engine.transform);
   mux.add(&oracle);
@@ -15,6 +16,7 @@ StarRunReport run_star(const engine::StarSessionConfig& session_cfg,
   // the session with the mux first and attach metrics before any events
   // run (nothing fires until run_to_quiescence).
   engine::StarSession session(session_cfg, &mux);
+  if (scheduler != nullptr) session.queue().set_scheduler(scheduler);
   MetricsCollector metrics(session.queue());
   mux.add(&metrics);
 

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "engine/session.hpp"
+#include "net/scheduler.hpp"
 #include "sim/workload.hpp"
 
 namespace ccvc::sim {
@@ -33,8 +34,17 @@ struct StarRunReport {
 
 /// Runs a star session under the workload and validates every verdict
 /// against the causality oracle.
+///
+/// A non-null `scheduler` switches the session's event queue into
+/// choice mode before any event is scheduled: every delivery decision is
+/// delegated to it instead of the timestamp order (the model checker
+/// under src/analysis/ drives whole interleaving trees this way; the
+/// default nullptr keeps the classic timed semantics).  Requires a
+/// session that schedules nothing at construction, i.e. the reliability
+/// sublayer disabled.
 StarRunReport run_star(const engine::StarSessionConfig& session_cfg,
-                       const WorkloadConfig& workload_cfg);
+                       const WorkloadConfig& workload_cfg,
+                       net::Scheduler* scheduler = nullptr);
 
 struct MeshRunReport {
   bool all_delivered = false;

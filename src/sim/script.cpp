@@ -1,10 +1,43 @@
 #include "sim/script.hpp"
 
+#include <optional>
 #include <sstream>
+#include <utility>
 
+#include "clocks/compressed_sv.hpp"
+#include "net/scheduler.hpp"
+#include "sim/intention.hpp"
+#include "sim/invariants.hpp"
+#include "sim/observers.hpp"
+#include "sim/oracle.hpp"
 #include "util/check.hpp"
 
 namespace ccvc::sim {
+
+/// The observers and scheduler a script run wires into its session.
+/// Owned by ScriptResult (declared before the session there) so
+/// post-run inspection of the session stays valid.
+struct ScriptRig {
+  ObserverMux mux;
+  std::unique_ptr<CausalityOracle> oracle;
+  VerdictInvariantChecker checker;
+  net::FunctionScheduler scheduler;
+  /// One-shot forced pick for `step up`/`step down`; npos falls back to
+  /// latency order (the drain behind `run` and implicit expects).
+  std::size_t forced = net::npos;
+
+  ScriptRig()
+      : scheduler([this](const std::vector<net::PendingEvent>& pending) {
+          const std::size_t pick = forced;
+          forced = net::npos;
+          return pick != net::npos ? pick : net::timed_choice(pending);
+        }) {}
+};
+
+ScriptResult::ScriptResult() = default;
+ScriptResult::ScriptResult(ScriptResult&&) noexcept = default;
+ScriptResult& ScriptResult::operator=(ScriptResult&&) noexcept = default;
+ScriptResult::~ScriptResult() = default;
 
 namespace {
 
@@ -66,6 +99,15 @@ double to_ms(const Statement& st, const std::string& w) {
   }
 }
 
+/// One entry of a site's `program` — consumed in order by `step gen`.
+struct ProgramOp {
+  std::size_t line_no = 0;
+  bool is_insert = true;
+  std::size_t pos = 0;
+  std::string text;
+  std::size_t count = 0;
+};
+
 }  // namespace
 
 ScriptResult run_script(const std::string& text) {
@@ -88,6 +130,12 @@ ScriptResult run_script(const std::string& text) {
     }
   }
 
+  std::vector<std::vector<ProgramOp>> programs;  // [site]
+  clocks::FormulaMutation mutation = clocks::FormulaMutation::kNone;
+  bool manual = false;  // any `step` statement
+  bool timed = false;   // any `at` statement
+  std::size_t joins = 0;
+
   for (const auto& [st, raw] : statements) {
     const auto& w = st.words;
     if (w[0] == "sites") {
@@ -106,6 +154,34 @@ ScriptResult run_script(const std::string& text) {
     } else if (w[0] == "reliable") {
       if (w.size() != 1) fail(st.line_no, "reliable");
       cfg.reliability.enabled = true;
+    } else if (w[0] == "mutate") {
+      if (w.size() != 2) fail(st.line_no, "mutate NAME");
+      if (!clocks::parse_formula_mutation(w[1], mutation)) {
+        fail(st.line_no, "unknown formula mutation '" + w[1] + "'");
+      }
+      // A mutated formula disagrees with the transformation control by
+      // design; the fidelity cross-check would (correctly) throw before
+      // the invariant observers could report anything.
+      cfg.engine.check_fidelity = false;
+    } else if (w[0] == "program") {
+      if (w.size() < 5) fail(st.line_no, "program I insert|delete ...");
+      const auto site = static_cast<std::size_t>(to_u64(st, w[1]));
+      if (site < 1) fail(st.line_no, "program sites run 1..N");
+      if (programs.size() <= site) programs.resize(site + 1);
+      ProgramOp op;
+      op.line_no = st.line_no;
+      op.pos = static_cast<std::size_t>(to_u64(st, w[3]));
+      if (w[2] == "insert") {
+        op.text = tail_after(raw, 4);
+        if (op.text.empty()) fail(st.line_no, "insert needs text");
+      } else if (w[2] == "delete") {
+        if (w.size() != 5) fail(st.line_no, "program I delete P N");
+        op.is_insert = false;
+        op.count = static_cast<std::size_t>(to_u64(st, w[4]));
+      } else {
+        fail(st.line_no, "unknown program action '" + w[2] + "'");
+      }
+      programs[site].push_back(std::move(op));
     } else if (w[0] == "fault") {
       if (w.size() < 3) fail(st.line_no, "fault drop|dup|corrupt|reorder P");
       const double p = to_ms(st, w[2]);
@@ -126,17 +202,51 @@ ScriptResult run_script(const std::string& text) {
       };
       apply(cfg.uplink_faults);
       apply(cfg.downlink_faults);
+    } else if (w[0] == "step") {
+      manual = true;
+    } else if (w[0] == "at") {
+      timed = true;
+      if (w.size() >= 3 && w[2] == "join") ++joins;
     }
   }
+  const std::size_t first_line =
+      statements.empty() ? 0 : statements.front().first.line_no;
   if ((cfg.uplink_faults.active() || cfg.downlink_faults.active()) &&
       !cfg.reliability.enabled) {
-    fail(statements.empty() ? 0 : statements.front().first.line_no,
-         "fault statements require 'reliable'");
+    fail(first_line, "fault statements require 'reliable'");
+  }
+  if (manual && (timed || cfg.reliability.enabled ||
+                 cfg.uplink_faults.active() || cfg.downlink_faults.active())) {
+    fail(first_line,
+         "step statements replay an exact schedule and cannot mix with "
+         "at/reliable/fault");
+  }
+  if (programs.size() > cfg.num_sites + 1) {
+    fail(first_line, "program site id exceeds 'sites'");
+  }
+  programs.resize(cfg.num_sites + 1);
+
+  // The mutation (if any) stays installed for the whole run, including
+  // the drain behind expectations; restored before returning so a
+  // throwing script cannot poison the next one.
+  std::optional<clocks::ScopedFormulaMutation> mutation_guard;
+  if (mutation != clocks::FormulaMutation::kNone) {
+    mutation_guard.emplace(mutation);
   }
 
   ScriptResult result;
-  result.session = std::make_unique<engine::StarSession>(cfg);
+  result.rig = std::make_unique<ScriptRig>();
+  ScriptRig& rig = *result.rig;
+  rig.oracle = std::make_unique<CausalityOracle>(cfg.num_sites + joins,
+                                                 cfg.engine.transform);
+  rig.mux.add(rig.oracle.get());
+  rig.mux.add(&rig.checker);
+
+  result.session = std::make_unique<engine::StarSession>(cfg, &rig.mux);
   engine::StarSession& session = *result.session;
+  if (manual) session.queue().set_scheduler(&rig.scheduler);
+
+  std::vector<std::size_t> prog_next(programs.size(), 0);
   bool ran = false;
 
   auto ensure_ran = [&] {
@@ -155,7 +265,8 @@ ScriptResult run_script(const std::string& text) {
   for (const auto& [st, raw] : statements) {
     const auto& w = st.words;
     if (w[0] == "sites" || w[0] == "doc" || w[0] == "latency" ||
-        w[0] == "no-transform" || w[0] == "reliable" || w[0] == "fault") {
+        w[0] == "no-transform" || w[0] == "reliable" || w[0] == "fault" ||
+        w[0] == "mutate" || w[0] == "program") {
       continue;  // handled in pass 1
     }
     if (w[0] == "at") {
@@ -206,6 +317,40 @@ ScriptResult run_script(const std::string& text) {
       } else {
         fail(st.line_no, "unknown action '" + w[2] + "'");
       }
+    } else if (w[0] == "step") {
+      if (w.size() != 3) fail(st.line_no, "step gen|up|down I");
+      const auto site = static_cast<SiteId>(to_u64(st, w[2]));
+      if (site < 1 || site > cfg.num_sites) {
+        fail(st.line_no, "step sites run 1..N");
+      }
+      if (w[1] == "gen") {
+        auto& next = prog_next[site];
+        if (next >= programs[site].size()) {
+          fail(st.line_no, "site " + std::to_string(site) +
+                               " has no program op left to generate");
+        }
+        const ProgramOp& op = programs[site][next];
+        ++next;
+        if (op.is_insert) {
+          session.client(site).insert(op.pos, op.text);
+        } else {
+          session.client(site).erase(op.pos, op.count);
+        }
+      } else if (w[1] == "up" || w[1] == "down") {
+        const SiteId from = (w[1] == "up") ? site : kNotifierSite;
+        const SiteId to = (w[1] == "up") ? kNotifierSite : site;
+        const std::size_t idx =
+            net::fifo_head(session.queue().pending_events(), from, to);
+        if (idx == net::npos) {
+          fail(st.line_no, "no in-flight message on channel " +
+                               std::to_string(from) + " -> " +
+                               std::to_string(to));
+        }
+        rig.forced = idx;
+        session.queue().step();
+      } else {
+        fail(st.line_no, "unknown step kind '" + w[1] + "'");
+      }
     } else if (w[0] == "run") {
       session.run_to_quiescence();
       ran = true;
@@ -231,11 +376,52 @@ ScriptResult run_script(const std::string& text) {
              "site " + std::to_string(site) + " doc is \"" +
                  session.client(site).text() + "\", expected \"" + want +
                  "\"");
+    } else if (w[0] == "expect-violation") {
+      if (w.size() != 2) {
+        fail(st.line_no,
+             "expect-violation equivalence|oracle|divergence|intention|any");
+      }
+      ensure_ran();
+      const bool equivalence = rig.checker.equivalence_violations() > 0;
+      const bool oracle = rig.oracle->verdict_mismatches() > 0;
+      const bool divergence = !session.converged();
+      if (w[1] == "equivalence") {
+        expect(equivalence, st.line_no,
+               "no formula-equivalence violation observed");
+      } else if (w[1] == "oracle") {
+        expect(oracle, st.line_no, "no oracle verdict mismatch observed");
+      } else if (w[1] == "divergence") {
+        expect(divergence, st.line_no, "replicas unexpectedly converged");
+      } else if (w[1] == "intention") {
+        std::vector<IntentionOp> ops;
+        for (SiteId i = 1; i <= cfg.num_sites; ++i) {
+          if (programs[i].size() != 1) {
+            fail(st.line_no,
+                 "expect-violation intention needs exactly one program op "
+                 "per site (the all-concurrent oracle)");
+          }
+          const ProgramOp& p = programs[i].front();
+          ops.push_back(
+              IntentionOp{i, p.is_insert, p.pos, p.text, p.count});
+        }
+        const std::string diag = check_intention_merge(
+            cfg.initial_doc, ops, session.notifier().text());
+        expect(!diag.empty(), st.line_no,
+               "intention-preserving merge unexpectedly held");
+      } else if (w[1] == "any") {
+        expect(equivalence || oracle || divergence, st.line_no,
+               "no invariant violation observed");
+      } else {
+        fail(st.line_no, "unknown violation kind '" + w[1] + "'");
+      }
     } else {
       fail(st.line_no, "unknown statement '" + w[0] + "'");
     }
   }
 
+  result.verdicts = rig.checker.verdicts();
+  result.equivalence_violations = rig.checker.equivalence_violations();
+  result.oracle_mismatches = rig.oracle->verdict_mismatches();
   result.passed = result.failures.empty();
   return result;
 }

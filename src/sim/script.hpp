@@ -1,8 +1,10 @@
 // Scenario scripts: tiny text files that describe a star-session
 // schedule and its expected outcome.  Scenarios-as-data keep regression
-// corpora readable and diffable; the Fig. 2/Fig. 3 schedules and the
-// convergence puzzles in tests/integration/scripts_test.cpp are written
-// in it.
+// corpora readable and diffable; the Fig. 2/Fig. 3 schedules, the
+// convergence puzzles in tests/integration/scripts_test.cpp, and the
+// model checker's counterexamples (src/analysis/explorer.hpp emits this
+// language, so every violating interleaving it finds replays here) are
+// written in it.
 //
 // Grammar (one statement per line; a word starting with '#' comments out
 // the rest of the line — EXCEPT inside trailing TEXT payloads, which run
@@ -19,6 +21,11 @@
 //                              directions.  KIND ∈ drop|dup|corrupt|
 //                              reorder, P ∈ [0,1); reorder takes an
 //                              optional window in ms (default 50)
+//   mutate NAME              — install a formula mutation for the run
+//                              (clocks::FormulaMutation name, e.g.
+//                              f5-geq; implies fidelity checks off)
+//   program I insert P TEXT  — append Insert[TEXT, P] to site I's step
+//   program I delete P N       program (consumed in order by `step gen`)
 //   at T site I insert P TEXT    — schedule Insert[TEXT, P] at sim-time T
 //   at T site I delete P N       — schedule Delete[N, P]
 //   at T join                    — a new site joins (its id is N+1, N+2, ...)
@@ -27,15 +34,33 @@
 //   at T up I                    — heal them again
 //   at T crash-center            — crash-restart the notifier from its
 //                                  durable checkpoint + log
+//   step gen I               — site I generates its next program op NOW
+//   step up I                — deliver the oldest in-flight message on
+//                              the uplink I -> notifier
+//   step down I              — deliver the oldest in-flight message on
+//                              the downlink notifier -> I
 //   run                      — deliver everything (drain the queue)
 //   expect-converged         — assert all active replicas identical
 //   expect-diverged          — assert they are NOT identical
 //   expect-doc TEXT          — assert the notifier's document
 //   expect-doc-at I TEXT     — assert site I's document
+//   expect-violation KIND    — assert the run violated an invariant.
+//                              KIND ∈ equivalence (formula (5)≢(4) or
+//                              (7)≢(6) on some decision) | oracle (a
+//                              verdict disagreed with ground-truth
+//                              causality) | divergence | intention
+//                              (all-concurrent merge broke §2's
+//                              intention preservation; requires exactly
+//                              one program op per site) | any
 //
-// `run` is implicit before any expect-* if omitted.
+// `run` is implicit before any expect-* if omitted.  `step` statements
+// switch the event queue into choice mode (net::Scheduler): deliveries
+// happen exactly when and in the order the script says, not in latency
+// order.  Step mode is exact-schedule replay, so it cannot mix with
+// `at` scheduling, `reliable`, or `fault`.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -44,9 +69,26 @@
 
 namespace ccvc::sim {
 
+struct ScriptRig;  // observers + scheduler backing a run (script.cpp)
+
 struct ScriptResult {
+  ScriptResult();
+  ScriptResult(ScriptResult&&) noexcept;
+  ScriptResult& operator=(ScriptResult&&) noexcept;
+  ~ScriptResult();
+
   bool passed = false;
   std::vector<std::string> failures;  // one message per failed expectation
+
+  // Invariant counters from the attached oracle and equivalence checker
+  // (what expect-violation asserts on).
+  std::uint64_t verdicts = 0;
+  std::uint64_t equivalence_violations = 0;
+  std::uint64_t oracle_mismatches = 0;
+
+  // rig before session: the session borrows the rig's observers and
+  // scheduler, so it must be destroyed first (reverse declaration order).
+  std::unique_ptr<ScriptRig> rig;
   std::unique_ptr<engine::StarSession> session;  // inspectable afterwards
 };
 

@@ -97,5 +97,126 @@ TEST(EventQueue, StepOnEmptyReturnsFalse) {
   EXPECT_EQ(q.run(), 0u);
 }
 
+// --- choice mode -----------------------------------------------------
+
+TEST(EventQueueChoice, TimedSchedulerMatchesHeapOrder) {
+  // The same workload run through the heap and through choice mode with
+  // a TimedScheduler must execute in the same order.
+  const std::vector<SimTime> times = {30.0, 10.0, 20.0, 10.0, 5.0};
+  std::vector<int> heap_order;
+  {
+    EventQueue q;
+    for (int i = 0; i < static_cast<int>(times.size()); ++i) {
+      q.schedule_at(times[static_cast<size_t>(i)],
+                    [&heap_order, i] { heap_order.push_back(i); });
+    }
+    q.run();
+  }
+  std::vector<int> choice_order;
+  {
+    EventQueue q;
+    TimedScheduler timed;
+    q.set_scheduler(&timed);
+    for (int i = 0; i < static_cast<int>(times.size()); ++i) {
+      q.schedule_at(times[static_cast<size_t>(i)],
+                    [&choice_order, i] { choice_order.push_back(i); });
+    }
+    q.run();
+  }
+  EXPECT_EQ(choice_order, heap_order);
+  EXPECT_EQ(heap_order, (std::vector<int>{4, 1, 3, 2, 0}));
+}
+
+TEST(EventQueueChoice, FunctionSchedulerForcesArbitraryOrder) {
+  EventQueue q;
+  // Always run the *latest*-scheduled pending event: LIFO.
+  FunctionScheduler lifo([](const std::vector<PendingEvent>& pending) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pending.size(); ++i) {
+      if (pending[i].seq > pending[best].seq) best = i;
+    }
+    return best;
+  });
+  q.set_scheduler(&lifo);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    q.schedule_at(static_cast<SimTime>(i), [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(EventQueueChoice, TimeStaysMonotoneUnderReordering) {
+  // Running a later event first pins now() there; earlier events then
+  // run without moving time backwards.
+  EventQueue q;
+  std::size_t pick = 0;
+  FunctionScheduler forced(
+      [&pick](const std::vector<PendingEvent>&) { return pick; });
+  q.set_scheduler(&forced);
+  std::vector<SimTime> seen;
+  q.schedule_at(1.0, [&] { seen.push_back(q.now()); });
+  q.schedule_at(9.0, [&] { seen.push_back(q.now()); });
+  pick = 1;  // run the t=9 event first
+  EXPECT_TRUE(q.step());
+  pick = 0;
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(seen, (std::vector<SimTime>{9.0, 9.0}));
+  EXPECT_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueueChoice, PendingEventsExposeMetadata) {
+  EventQueue q;
+  TimedScheduler timed;
+  q.set_scheduler(&timed);
+  EventMeta deliver;
+  deliver.kind = EventKind::kDeliver;
+  deliver.from = 2;
+  deliver.to = 0;
+  deliver.payload_crc = 0xDEADBEEF;
+  q.schedule_at(1.0, [] {});                 // generic
+  q.schedule_at(2.0, [] {}, deliver);        // tagged delivery
+  const std::vector<PendingEvent> view = q.pending_events();
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view[0].meta.kind, EventKind::kGeneric);
+  EXPECT_EQ(view[1].meta, deliver);
+  EXPECT_EQ(view[1].seq, 1u);
+  q.run();
+}
+
+TEST(EventQueueChoice, FifoHeadFindsOldestChannelDelivery) {
+  EventQueue q;
+  TimedScheduler timed;
+  q.set_scheduler(&timed);
+  auto tag = [](SiteId from, SiteId to) {
+    EventMeta m;
+    m.kind = EventKind::kDeliver;
+    m.from = from;
+    m.to = to;
+    return m;
+  };
+  q.schedule_at(1.0, [] {});                // generic — never a head
+  q.schedule_at(2.0, [] {}, tag(1, 0));     // 1->0 head (oldest seq)
+  q.schedule_at(3.0, [] {}, tag(2, 0));
+  q.schedule_at(4.0, [] {}, tag(1, 0));     // behind the head
+  const std::vector<PendingEvent> view = q.pending_events();
+  EXPECT_EQ(fifo_head(view, 1, 0), 1u);
+  EXPECT_EQ(fifo_head(view, 2, 0), 2u);
+  EXPECT_EQ(fifo_head(view, 0, 1), npos);
+  q.run();
+}
+
+TEST(EventQueueChoice, SchedulerSwapRequiresEmptyQueue) {
+  EventQueue q;
+  TimedScheduler timed;
+  q.schedule_at(1.0, [] {});
+  EXPECT_THROW(q.set_scheduler(&timed), ContractViolation);
+  q.run();
+  q.set_scheduler(&timed);  // legal once drained
+  EXPECT_TRUE(q.choice_mode());
+  q.set_scheduler(nullptr);
+  EXPECT_FALSE(q.choice_mode());
+}
+
 }  // namespace
 }  // namespace ccvc::net

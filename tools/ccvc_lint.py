@@ -37,6 +37,15 @@ Enforces invariants generic tools cannot express:
                      which switch on cfg.reliability.enabled and carry
                      explicit allow pragmas on their legacy branch).
 
+  metric-name        Every metric name passed to a CCVC_METRIC_* macro
+                     under src/ must appear in the instrument catalog
+                     (docs/OBSERVABILITY.md §3), and every catalogued
+                     name must have a call site.  The catalog is the
+                     contract dashboards and bench tooling scrape
+                     against; an undocumented instrument is invisible,
+                     a documented-but-gone one is a silent dashboard
+                     hole.
+
   doc-xref           Every path/to/file.ext-style reference in
                      docs/*.md and README.md must name a file that
                      exists (resolved against the repo root, then
@@ -68,15 +77,18 @@ RULES = (
     "self-include-first",
     "include-hygiene",
     "raw-channel-send",
+    "metric-name",
     "doc-xref",
 )
 
-# Files allowed to print: the observer/presentation layer.
+# Files allowed to print: the observer/presentation layer, plus
+# command-line drivers (a CLI's stdout IS its interface).
 PRINT_WHITELIST = {
     "src/sim/observers.cpp",
     "src/sim/observers.hpp",
     "src/util/table.cpp",
     "src/util/table.hpp",
+    "src/analysis/mc_main.cpp",
 }
 
 BARE_ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
@@ -101,6 +113,15 @@ DOC_XREF_RE = re.compile(
     r"[A-Za-z0-9_.\-/]*/[A-Za-z0-9_.\-]+"
     r"\.(?:cpp|hpp|h|cc|c|py|sh|md|txt|json|cmake)\b"
 )
+# A metric-macro call site with its name literal.  Matched against RAW
+# file text (the comment/string stripper blanks the literal), tolerant
+# of the macro call being split over lines.
+METRIC_USE_RE = re.compile(
+    r'CCVC_METRIC_(?:COUNT|GAUGE_SET|HIST)\s*\(\s*"([a-z0-9_.]+)"'
+)
+# A metric name in the instrument catalog: dotted lower-case, at least
+# two components (filters out prose words and C++ identifiers).
+METRIC_NAME_RE = re.compile(r"[a-z0-9_]+(?:\.[a-z0-9_]+)+")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -239,6 +260,68 @@ class Linter:
                             f"dangling file reference '{ref}' — no such "
                             "file at the repo root or under src/")
 
+    def catalog_metric_names(self) -> dict[str, int] | None:
+        """Metric names documented in OBSERVABILITY.md §3, name → line.
+
+        Combined rows abbreviate siblings by leading-dot suffix
+        (`net.channel.corrupted` / `.duplicated`); a suffix expands
+        against the previous full name in the same cell by replacing
+        its trailing component(s)."""
+        doc = self.root / "docs" / "OBSERVABILITY.md"
+        if not doc.exists():
+            return None
+        names: dict[str, int] = {}
+        in_catalog = False
+        for lineno, line in enumerate(doc.read_text(encoding="utf-8")
+                                      .splitlines(), start=1):
+            if line.startswith("## "):
+                in_catalog = line.startswith("## 3.")
+                continue
+            if not in_catalog or not line.lstrip().startswith("|"):
+                continue
+            cells = line.split("|")
+            if len(cells) < 2:
+                continue
+            first_cell = cells[1]
+            base = ""
+            for tok in re.findall(r"`([^`]+)`", first_cell):
+                if tok.startswith(".") and base:
+                    suffix = tok[1:].split(".")
+                    name = ".".join(base.split(".")[:-len(suffix)] + suffix)
+                elif METRIC_NAME_RE.fullmatch(tok):
+                    name = tok
+                    base = tok
+                else:
+                    continue
+                names.setdefault(name, lineno)
+        return names
+
+    def lint_metric_names(self, files: list[pathlib.Path]) -> None:
+        documented = self.catalog_metric_names()
+        if documented is None:
+            return  # no catalog to check against
+        doc = self.root / "docs" / "OBSERVABILITY.md"
+        used: dict[str, tuple[pathlib.Path, int]] = {}
+        for path in files:
+            raw = path.read_text(encoding="utf-8")
+            for m in METRIC_USE_RE.finditer(raw):
+                lineno = raw.count("\n", 0, m.start()) + 1
+                line = raw.splitlines()[lineno - 1]
+                if "metric-name" in {a.group(1)
+                                     for a in ALLOW_RE.finditer(line)}:
+                    continue
+                name = m.group(1)
+                used.setdefault(name, (path, lineno))
+                if name not in documented:
+                    self.report(path, lineno, "metric-name",
+                                f"metric '{name}' is not in the instrument "
+                                "catalog (docs/OBSERVABILITY.md §3)")
+        for name, lineno in sorted(documented.items()):
+            if name not in used:
+                self.report(doc, lineno, "metric-name",
+                            f"catalogued metric '{name}' has no "
+                            "CCVC_METRIC_* call site under src/")
+
     def lint_header_standalone(self, headers: list[pathlib.Path]) -> None:
         with tempfile.TemporaryDirectory(prefix="ccvc_lint_") as td:
             tu = pathlib.Path(td) / "standalone_check.cpp"
@@ -268,6 +351,7 @@ class Linter:
             self.lint_lines(path)
         for path in cpps:
             self.lint_self_include(path)
+        self.lint_metric_names(cpps + hpps)
         docs = sorted((self.root / "docs").glob("*.md"))
         readme = self.root / "README.md"
         if readme.exists():

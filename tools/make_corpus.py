@@ -82,6 +82,67 @@ def ack_frame(ack: int) -> bytes:
     return framed(bytes([0xF1]) + uvarint(ack))
 
 
+def vv(values: list[int]) -> bytes:
+    """VersionVector wire form (same shape as a vv stamp)."""
+    return vv_stamp(values)
+
+
+def ckpt_prim(kind: int, pos: int, count: int, origin: int,
+              text: bytes) -> bytes:
+    """Checkpoint primitive — unlike the wire codec it keeps all five
+    fields (including captured delete text); see snapshot.cpp."""
+    return (bytes([kind]) + uvarint(pos) + uvarint(count)
+            + uvarint(origin) + string(text))
+
+
+def ckpt_ops(*prims: bytes) -> bytes:
+    return uvarint(len(prims)) + b"".join(prims)
+
+
+def notifier_hb_entry(site: int, seq: int, origin: int,
+                      stamp: list[int], ops: bytes) -> bytes:
+    return uvarint(site) + uvarint(seq) + uvarint(origin) + vv(stamp) + ops
+
+
+def notifier_state(num_sites: int, document: bytes,
+                   hb: list[bytes] = [],
+                   outgoing_depth: int = 0) -> bytes:
+    """Tag-0xD2 notifier checkpoint blob (engine/snapshot.cpp layout)."""
+    body = bytes([0xD2]) + uvarint(num_sites) + string(document)
+    body += vv([0] * (num_sites + 1))          # sv0
+    body += vv([0] * (num_sites + 1))          # vc
+    body += uvarint(len(hb)) + b"".join(hb)
+    body += uvarint(outgoing_depth)            # outgoing queues
+    for _ in range(outgoing_depth):
+        body += uvarint(0)                     # ... each empty
+    body += uvarint(num_sites) + b"".join(uvarint(0) for _ in range(num_sites))
+    body += uvarint(num_sites) + b"".join(uvarint(0) for _ in range(num_sites))
+    body += uvarint(num_sites) + bytes([1] * num_sites)  # active flags
+    body += uvarint(0)                         # hb_collected
+    return body
+
+
+def link_state(next_seq: int = 1, expected: int = 1, ack_due: bool = False,
+               unacked: list[tuple[int, bytes]] = [],
+               ooo: list[tuple[int, bytes]] = []) -> bytes:
+    """ReliableLink::State wire form (engine/reliable_link.cpp)."""
+
+    def entries(items: list[tuple[int, bytes]]) -> bytes:
+        out = uvarint(len(items))
+        for seq, payload in items:
+            out += uvarint(seq) + string(payload)
+        return out
+
+    return (uvarint(next_seq) + uvarint(expected)
+            + bytes([1 if ack_due else 0]) + entries(unacked) + entries(ooo))
+
+
+def notifier_bundle(num_sites: int, blob: bytes, links: list[bytes]) -> bytes:
+    """Tag-0xD4 durable checkpoint: notifier blob + per-site link state."""
+    return (bytes([0xD4]) + uvarint(num_sites) + string(blob)
+            + b"".join(links))
+
+
 SEEDS = {
     "varint": {
         "zero": uvarint(0),
@@ -131,6 +192,40 @@ SEEDS = {
         "ack_large": ack_frame(123456789),
         "bad_crc": data_frame(1, 0, b"ok")[:-1]
         + bytes([data_frame(1, 0, b"ok")[-1] ^ 0xFF]),
+    },
+    "checkpoint": {
+        "minimal_2site": notifier_bundle(
+            2,
+            notifier_state(2, b"ab"),
+            [link_state(), link_state()],
+        ),
+        "with_history": notifier_bundle(
+            2,
+            notifier_state(
+                2,
+                b"aXb",
+                hb=[
+                    notifier_hb_entry(
+                        1, 1, 1, [0, 1, 0],
+                        ckpt_ops(ckpt_prim(0, 1, 1, 1, b"X")),
+                    )
+                ],
+                outgoing_depth=2,
+            ),
+            [link_state(2, 1, ack_due=True, unacked=[(1, b"payload")]),
+             link_state(1, 3, ooo=[(4, b"parked")])],
+        ),
+        "single_site": notifier_bundle(
+            1, notifier_state(1, b""), [link_state()]
+        ),
+        "truncated": notifier_bundle(
+            2, notifier_state(2, b"ab"), [link_state(), link_state()]
+        )[:-3],
+        "bad_tag": bytes([0xD3]) + notifier_bundle(
+            1, notifier_state(1, b""), [link_state()]
+        )[1:],
+        "hostile_num_sites": bytes([0xD4]) + uvarint((1 << 32))
+        + string(notifier_state(1, b"")) + link_state(),
     },
 }
 
