@@ -12,6 +12,10 @@
 #      round-trip) + validation of the committed BENCH_results.json
 #   9. bounded model checking: ccvc_mc exhaustive sweep + §6 ablation +
 #      formula-mutation self-validation, plus the `model` ctest label
+#  10. wire-schema gate: ccvc_schema --check (docs/schema.json,
+#      PROTOCOL.md table, fuzz dictionaries, boundary round-trips)
+#      plus the `schema` ctest label (golden bytes, bound rejects,
+#      negative compiles, --check mutation test)
 #
 # Any finding exits non-zero.  Optional tools that are not installed are
 # reported as SKIPPED, not failed, so the pipeline works on GCC-only
@@ -34,54 +38,61 @@ fail() {
   FAILURES=$((FAILURES + 1))
 }
 
-step "1/9 configure + build, -Werror (relwithdebinfo)"
+step "1/10 configure + build, -Werror (relwithdebinfo)"
 cmake --preset relwithdebinfo >/dev/null &&
   cmake --build --preset relwithdebinfo "$JOBS" ||
   fail "-Werror build"
 
-step "2/9 full suite under ASan+UBSan (Debug; DCHECK contracts live)"
+step "2/10 full suite under ASan+UBSan (Debug; DCHECK contracts live)"
 cmake --preset asan-ubsan >/dev/null &&
   cmake --build --preset asan-ubsan "$JOBS" &&
   ctest --preset asan-ubsan "$JOBS" -LE "fuzz_smoke|chaos|model" ||
   fail "asan-ubsan test suite"
 
-step "3/9 clang-tidy"
+step "3/10 clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake --build build-relwithdebinfo --target tidy || fail "clang-tidy"
 else
   echo "SKIPPED: clang-tidy not installed"
 fi
 
-step "4/9 cppcheck"
+step "4/10 cppcheck"
 if command -v cppcheck >/dev/null 2>&1; then
   cmake --build build-relwithdebinfo --target cppcheck || fail "cppcheck"
 else
   echo "SKIPPED: cppcheck not installed"
 fi
 
-step "5/9 protocol lint (tools/ccvc_lint.py)"
+step "5/10 protocol lint (tools/ccvc_lint.py)"
 python3 tools/ccvc_lint.py --root "$PWD" --compiler "${CXX:-c++}" ||
   fail "ccvc_lint"
 
-step "6/9 fuzz smoke (sanitized, seed corpus + 20k runs each)"
+step "6/10 fuzz smoke (sanitized, seed corpus + 20k runs each)"
 ctest --preset asan-ubsan -L fuzz_smoke || fail "fuzz smoke"
 
-step "7/9 chaos property suite (sanitized fault injection + recovery)"
+step "7/10 chaos property suite (sanitized fault injection + recovery)"
 ctest --preset asan-ubsan "$JOBS" -L chaos || fail "chaos suite"
 
-step "8/9 bench pipeline smoke + BENCH_results.json schema check"
+step "8/10 bench pipeline smoke + BENCH_results.json schema check"
 cmake --build build-relwithdebinfo "$JOBS" --target bench_main >/dev/null &&
   python3 tools/bench_report.py --build-dir build-relwithdebinfo \
     --mode smoke --output "$(mktemp -t bench_smoke.XXXXXX.json)" &&
   python3 tools/bench_report.py --check BENCH_results.json ||
   fail "bench pipeline"
 
-step "9/9 bounded model checking (ccvc_mc + model-label tests)"
+step "9/10 bounded model checking (ccvc_mc + model-label tests)"
 cmake --build build-relwithdebinfo "$JOBS" --target ccvc_mc model_tests \
     >/dev/null &&
   ./build-relwithdebinfo/src/analysis/ccvc_mc all &&
   ctest --test-dir build-relwithdebinfo "$JOBS" -L model ||
   fail "model checking"
+
+step "10/10 wire-schema gate (ccvc_schema --check + schema-label tests)"
+cmake --build build-relwithdebinfo "$JOBS" --target ccvc_schema wire_tests \
+    >/dev/null &&
+  ./build-relwithdebinfo/src/analysis/ccvc_schema --check --root "$PWD" &&
+  ctest --test-dir build-relwithdebinfo "$JOBS" -L schema ||
+  fail "wire-schema gate"
 
 printf '\n'
 if [ "$FAILURES" -ne 0 ]; then

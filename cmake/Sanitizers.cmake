@@ -38,5 +38,15 @@ if(CCVC_SANITIZE)
     -fno-sanitize-recover=all)
   target_link_options(ccvc_sanitize INTERFACE
     -fsanitize=${_ccvc_sanitize_csv})
+  # GCC's -fsanitize=null (part of `undefined`) instruments pointer/null
+  # comparisons even inside constant evaluation (observed through GCC
+  # 12), so `&global != nullptr` stops being a constant expression and
+  # the wire-schema registry static_asserts become unevaluable.
+  # src/wire/schema.hpp downgrades them to a run-time check under this
+  # define; the plain -Werror build keeps the compile-time gate.
+  if("undefined" IN_LIST CCVC_SANITIZE AND CMAKE_CXX_COMPILER_ID STREQUAL "GNU")
+    target_compile_definitions(ccvc_sanitize INTERFACE
+      CCVC_GCC_UBSAN_CONSTEXPR_PTR_BUG)
+  endif()
   message(STATUS "CCVC: building with -fsanitize=${_ccvc_sanitize_csv}")
 endif()

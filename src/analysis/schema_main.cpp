@@ -1,0 +1,189 @@
+// ccvc_schema — the wire-protocol analyzer.
+//
+// The declarative schema (src/wire/schema.hpp) is the single source of
+// truth for the byte protocol; this tool keeps every derived artifact
+// honest against it:
+//
+//   ccvc_schema --emit-schema            print docs/schema.json content
+//   ccvc_schema --emit-doc-table        print the PROTOCOL.md §2.0 table
+//   ccvc_schema --emit-dicts DIR        (re)write fuzz/dict/*.dict
+//   ccvc_schema --check [--root PATH]   CI gate: diff the committed
+//                                       schema.json, the PROTOCOL.md
+//                                       generated block and the fuzz
+//                                       dictionaries against the live
+//                                       schema, then run the exhaustive
+//                                       boundary round-trip self-test.
+//                                       Any drift or failure exits 1.
+//
+// --root defaults to the current directory and must point at the repo
+// checkout (the directory holding docs/ and fuzz/).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "wire/emit.hpp"
+#include "wire/schema.hpp"
+#include "wire/selftest.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream os;
+  os << in.rdbuf();
+  out = os.str();
+  return true;
+}
+
+/// First line where two texts diverge (1-based), for actionable drift
+/// reports.
+std::size_t first_diff_line(const std::string& a, const std::string& b) {
+  std::istringstream sa(a), sb(b);
+  std::string la, lb;
+  std::size_t line = 1;
+  while (true) {
+    const bool ga = static_cast<bool>(std::getline(sa, la));
+    const bool gb = static_cast<bool>(std::getline(sb, lb));
+    if (!ga && !gb) return 0;  // identical modulo trailing newline
+    if (ga != gb || la != lb) return line;
+    ++line;
+  }
+}
+
+/// The region of PROTOCOL.md between the doc-table markers, or empty
+/// when the markers are missing/misordered.
+std::string extract_doc_table(const std::string& doc) {
+  const std::size_t b = doc.find(ccvc::wire::kDocTableBegin);
+  const std::size_t e = doc.find(ccvc::wire::kDocTableEnd);
+  if (b == std::string::npos || e == std::string::npos || e <= b) return {};
+  const std::size_t start = doc.find('\n', b);
+  if (start == std::string::npos || start + 1 > e) return {};
+  return doc.substr(start + 1, e - start - 1);
+}
+
+int emit_dicts(const std::string& dir) {
+  for (const auto& d : ccvc::wire::fuzz_dicts()) {
+    const std::string path = dir + "/" + d.name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "ccvc_schema: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << d.content;
+  }
+  return 0;
+}
+
+int check(const std::string& root) {
+  int failures = 0;
+  auto fail = [&failures](const std::string& what) {
+    std::fprintf(stderr, "ccvc_schema: FAIL: %s\n", what.c_str());
+    ++failures;
+  };
+
+  // 1. docs/schema.json must match the live registry byte-for-byte.
+  const std::string schema_path = root + "/docs/schema.json";
+  const std::string live_json = ccvc::wire::schema_json();
+  std::string committed;
+  if (!read_file(schema_path, committed)) {
+    fail(schema_path + " is missing (run --emit-schema > docs/schema.json)");
+  } else if (committed != live_json) {
+    std::ostringstream os;
+    os << schema_path << " is stale (first drift at line "
+       << first_diff_line(committed, live_json)
+       << "); regenerate with --emit-schema";
+    fail(os.str());
+  }
+
+  // 2. The generated block of docs/PROTOCOL.md must match the schema's
+  //    doc-table emitter byte-for-byte.
+  const std::string doc_path = root + "/docs/PROTOCOL.md";
+  std::string doc;
+  if (!read_file(doc_path, doc)) {
+    fail(doc_path + " is missing");
+  } else {
+    const std::string block = extract_doc_table(doc);
+    const std::string live_table = ccvc::wire::doc_table();
+    if (block.empty()) {
+      fail(doc_path + " has no ccvc_schema:doc-table markers");
+    } else if (block != live_table) {
+      std::ostringstream os;
+      os << doc_path << " §2.0 table drifted from the schema (first drift "
+         << "at block line " << first_diff_line(block, live_table)
+         << "); paste --emit-doc-table between the markers";
+      fail(os.str());
+    }
+  }
+
+  // 3. Committed fuzz dictionaries must match the generator.
+  for (const auto& d : ccvc::wire::fuzz_dicts()) {
+    const std::string path = root + "/fuzz/dict/" + d.name;
+    std::string on_disk;
+    if (!read_file(path, on_disk)) {
+      fail(path + " is missing (run --emit-dicts fuzz/dict)");
+    } else if (on_disk != d.content) {
+      fail(path + " is stale (run --emit-dicts fuzz/dict)");
+    }
+  }
+
+  // 4. Exhaustive boundary round-trips: 0 / 1 / bound−1 / bound accept,
+  //    bound+1 rejects, for every field of every registry message.
+  const ccvc::wire::SelftestResult st = ccvc::wire::boundary_selftest();
+  for (const auto& f : st.failures) fail("boundary self-test: " + f);
+
+  if (failures == 0) {
+    std::printf("ccvc_schema --check: OK (%zu boundary checks, %zu "
+                "messages)\n",
+                st.checks, ccvc::wire::kRegistrySize);
+    return 0;
+  }
+  std::fprintf(stderr, "ccvc_schema --check: %d failure(s)\n", failures);
+  return 1;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ccvc_schema --emit-schema | --emit-doc-table |\n"
+      "                   --emit-dicts DIR | --check [--root PATH]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--root") {
+      if (i + 1 >= args.size()) return usage();
+      root = args[++i];
+    }
+  }
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--emit-schema") {
+      std::fputs(ccvc::wire::schema_json().c_str(), stdout);
+      return 0;
+    }
+    if (a == "--emit-doc-table") {
+      std::fputs(ccvc::wire::doc_table().c_str(), stdout);
+      return 0;
+    }
+    if (a == "--emit-dicts") {
+      if (i + 1 >= args.size()) return usage();
+      return emit_dicts(args[i + 1]);
+    }
+    if (a == "--check") return check(root);
+    if (a == "--root") {
+      ++i;
+      continue;
+    }
+    return usage();
+  }
+  return usage();
+}

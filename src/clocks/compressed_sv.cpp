@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "wire/engine.hpp"
 
 namespace ccvc::clocks {
 
@@ -12,14 +13,16 @@ std::uint64_t CompressedSv::at(int k) const {
 }
 
 void CompressedSv::encode(util::ByteSink& sink) const {
-  sink.put_uvarint(from_center);
-  sink.put_uvarint(from_site);
+  wire::Writer w(sink);
+  w.uv(wire::f::kCsvFromCenter, from_center);
+  w.uv(wire::f::kCsvFromSite, from_site);
 }
 
 CompressedSv CompressedSv::decode(util::ByteSource& src) {
+  wire::Reader r(src);
   CompressedSv sv;
-  sv.from_center = src.get_uvarint();
-  sv.from_site = src.get_uvarint();
+  sv.from_center = r.uv(wire::f::kCsvFromCenter);
+  sv.from_site = r.uv(wire::f::kCsvFromSite);
   return sv;
 }
 

@@ -1,30 +1,30 @@
 #include "clocks/sk_clock.hpp"
 
 #include "util/check.hpp"
+#include "wire/engine.hpp"
 
 namespace ccvc::clocks {
 
 void encode_sk(const SkTimestamp& ts, util::ByteSink& sink) {
-  sink.put_uvarint(ts.size());
+  wire::Writer w(sink);
+  w.count(wire::f::kSkEntries, ts.size());
   for (const auto& e : ts) {
-    sink.put_uvarint(e.site);
-    sink.put_uvarint(e.value);
+    w.uv(wire::f::kSkSite, e.site);
+    w.uv(wire::f::kSkValue, e.value);
   }
 }
 
 SkTimestamp decode_sk(util::ByteSource& src) {
-  const std::uint64_t n = src.get_uvarint();
-  if (n > src.remaining()) {
-    // Two varints per entry, at least one byte each — a larger claim is
-    // malformed; fail before allocating.
-    throw util::DecodeError("SK timestamp length exceeds message");
-  }
+  wire::Reader r(src);
+  // Two varints per entry, at least one byte each — the count() engine
+  // check rejects larger claims before allocating.
+  const std::uint64_t n = r.count(wire::f::kSkEntries);
   SkTimestamp ts;
   ts.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {
     SkEntry e;
-    e.site = src.get_uvarint32();
-    e.value = src.get_uvarint();
+    e.site = r.uv32(wire::f::kSkSite);
+    e.value = r.uv(wire::f::kSkValue);
     ts.push_back(e);
   }
   return ts;

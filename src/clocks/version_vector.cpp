@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "wire/engine.hpp"
 
 namespace ccvc::clocks {
 
@@ -77,20 +78,21 @@ bool VersionVector::concurrent_by_origin(const VersionVector& ta, SiteId x,
 }
 
 void VersionVector::encode(util::ByteSink& sink) const {
-  sink.put_uvarint(v_.size());
-  for (auto x : v_) sink.put_uvarint(x);
+  wire::Writer w(sink);
+  w.count(wire::f::kVvComponents, v_.size());
+  for (auto x : v_) w.uv(wire::f::kVvValue, x);
 }
 
 VersionVector VersionVector::decode(util::ByteSource& src) {
-  const std::uint64_t n = src.get_uvarint();
-  if (n > src.remaining()) {
-    // Each component costs at least one byte; anything larger is a
-    // malformed (or hostile) length claim — fail before allocating.
-    throw util::DecodeError("vector clock length exceeds message");
-  }
+  wire::Reader r(src);
+  // Each component costs at least one byte, so the count() engine check
+  // rejects hostile length claims before allocating.
+  const std::uint64_t n = r.count(wire::f::kVvComponents);
   std::vector<std::uint64_t> values;
   values.reserve(static_cast<std::size_t>(n));
-  for (std::uint64_t i = 0; i < n; ++i) values.push_back(src.get_uvarint());
+  for (std::uint64_t i = 0; i < n; ++i) {
+    values.push_back(r.uv(wire::f::kVvValue));
+  }
   return VersionVector(std::move(values));
 }
 

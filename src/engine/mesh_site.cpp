@@ -4,11 +4,12 @@
 
 #include "util/check.hpp"
 #include "util/varint.hpp"
+#include "wire/engine.hpp"
 
 namespace ccvc::engine {
 
 namespace {
-constexpr std::uint8_t kTagMesh = 0xC3;
+constexpr std::uint8_t kTagMesh = static_cast<std::uint8_t>(wire::kMeshMsg.tag);
 }
 
 const char* to_string(MeshStamp m) {
@@ -23,9 +24,10 @@ const char* to_string(MeshStamp m) {
 
 net::Payload encode(const MeshMsg& msg, MeshStamp mode) {
   util::ByteSink sink;
-  sink.put_u8(kTagMesh);
-  sink.put_uvarint(msg.id.site);
-  sink.put_uvarint(msg.id.seq);
+  wire::Writer w(sink);
+  w.tag(wire::kMeshMsg);
+  w.uv(wire::f::kOpIdSite, msg.id.site);
+  w.uv(wire::f::kOpIdSeq, msg.id.seq);
   switch (mode) {
     case MeshStamp::kFullVector:
       msg.full.encode(sink);
@@ -41,9 +43,10 @@ net::Payload encode(const MeshMsg& msg, MeshStamp mode) {
 MeshMsg decode_mesh_msg(const net::Payload& bytes, MeshStamp mode) {
   util::ByteSource src(bytes);
   CCVC_CHECK_MSG(src.get_u8() == kTagMesh, "not a mesh message");
+  wire::Reader r(src);
   MeshMsg msg;
-  msg.id.site = src.get_uvarint32();
-  msg.id.seq = src.get_uvarint();
+  msg.id.site = r.uv32(wire::f::kOpIdSite);
+  msg.id.seq = r.uv(wire::f::kOpIdSeq);
   switch (mode) {
     case MeshStamp::kFullVector:
       msg.full = clocks::VersionVector::decode(src);

@@ -2,14 +2,20 @@
 
 #include "util/check.hpp"
 #include "util/varint.hpp"
+#include "wire/engine.hpp"
 
 namespace ccvc::engine {
 
 namespace {
 
-constexpr std::uint8_t kTagClient = 0xC1;
-constexpr std::uint8_t kTagCenter = 0xC2;
-constexpr std::uint8_t kTagLeave = 0xC4;
+// Tags come from the declarative schema (src/wire/schema.hpp), which is
+// what ccvc_schema diffs against docs/PROTOCOL.md §2.0.
+constexpr std::uint8_t kTagClient =
+    static_cast<std::uint8_t>(wire::kClientMsg.tag);
+constexpr std::uint8_t kTagCenter =
+    static_cast<std::uint8_t>(wire::kCenterMsg.tag);
+constexpr std::uint8_t kTagLeave =
+    static_cast<std::uint8_t>(wire::kLeaveMsg.tag);
 
 void encode_stamp(const Stamp& stamp, StampMode mode, util::ByteSink& sink) {
   switch (mode) {
@@ -36,14 +42,16 @@ Stamp decode_stamp(util::ByteSource& src, StampMode mode) {
 }
 
 void encode_id(const OpId& id, util::ByteSink& sink) {
-  sink.put_uvarint(id.site);
-  sink.put_uvarint(id.seq);
+  wire::Writer w(sink);
+  w.uv(wire::f::kOpIdSite, id.site);
+  w.uv(wire::f::kOpIdSeq, id.seq);
 }
 
 OpId decode_id(util::ByteSource& src) {
+  wire::Reader r(src);
   OpId id;
-  id.site = src.get_uvarint32();
-  id.seq = src.get_uvarint();
+  id.site = r.uv32(wire::f::kOpIdSite);
+  id.seq = r.uv(wire::f::kOpIdSeq);
   return id;
 }
 
@@ -51,8 +59,10 @@ OpId decode_id(util::ByteSource& src) {
 // primitives, so a hostile Delete[n, p] count is an allocation
 // amplifier: a 3-byte wire op can claim a multi-exabyte expansion.
 // Cap the total expansion at the wire boundary; 1 Mi primitives per
-// message is far beyond any real editing burst.
-constexpr std::uint64_t kMaxDecodedPrimitives = 1u << 20;
+// message is far beyond any real editing burst.  The budget equals the
+// schema's declared op-list bound, so decomposition can never expand a
+// message past what the wire layer admits.
+constexpr std::uint64_t kMaxDecodedPrimitives = wire::kMaxOps;
 
 void check_decompose_budget(const ot::OpList& ops) {
   std::uint64_t total = 0;
@@ -77,7 +87,7 @@ const char* to_string(StampMode m) {
 
 net::Payload encode(const ClientMsg& msg, StampMode mode) {
   util::ByteSink sink;
-  sink.put_u8(kTagClient);
+  wire::Writer(sink).tag(wire::kClientMsg);
   encode_id(msg.id, sink);
   encode_stamp(msg.stamp, mode, sink);
   // REDUCE wire form: Delete[n, p] ships as one op, not n primitives.
@@ -87,7 +97,7 @@ net::Payload encode(const ClientMsg& msg, StampMode mode) {
 
 net::Payload encode(const CenterMsg& msg, StampMode mode) {
   util::ByteSink sink;
-  sink.put_u8(kTagCenter);
+  wire::Writer(sink).tag(wire::kCenterMsg);
   encode_id(msg.id, sink);
   encode_stamp(msg.stamp, mode, sink);
   ot::encode(ot::coalesce(msg.ops), sink);
@@ -123,8 +133,9 @@ CenterMsg decode_center_msg(const net::Payload& bytes, StampMode mode) {
 
 net::Payload encode_leave(SiteId site) {
   util::ByteSink sink;
-  sink.put_u8(kTagLeave);
-  sink.put_uvarint(site);
+  wire::Writer w(sink);
+  w.tag(wire::kLeaveMsg);
+  w.uv(wire::f::kLeaveSite, site);
   return sink.bytes();
 }
 
@@ -135,7 +146,7 @@ bool is_leave_msg(const net::Payload& bytes) {
 SiteId decode_leave(const net::Payload& bytes) {
   util::ByteSource src(bytes);
   CCVC_CHECK_MSG(src.get_u8() == kTagLeave, "not a leave message");
-  const SiteId site = src.get_uvarint32();
+  const SiteId site = wire::Reader(src).uv32(wire::f::kLeaveSite);
   CCVC_CHECK_MSG(src.exhausted(), "trailing bytes in leave message");
   return site;
 }

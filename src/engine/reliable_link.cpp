@@ -6,6 +6,7 @@
 #include "util/checksum.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
+#include "wire/engine.hpp"
 
 namespace ccvc::engine {
 
@@ -13,27 +14,27 @@ namespace {
 
 constexpr std::size_t kCrcBytes = 4;
 
-void append_crc(util::ByteSink& sink) {
-  const std::uint32_t crc = util::crc32(sink.bytes());
-  sink.put_u8(static_cast<std::uint8_t>(crc));
-  sink.put_u8(static_cast<std::uint8_t>(crc >> 8));
-  sink.put_u8(static_cast<std::uint8_t>(crc >> 16));
-  sink.put_u8(static_cast<std::uint8_t>(crc >> 24));
-}
-
 }  // namespace
 
 net::Payload encode_frame(const Frame& frame) {
   util::ByteSink sink;
-  sink.put_u8(static_cast<std::uint8_t>(frame.kind));
-  if (frame.kind == Frame::Kind::kData) sink.put_uvarint(frame.seq);
-  sink.put_uvarint(frame.ack);
+  wire::Writer w(sink);
   if (frame.kind == Frame::Kind::kData) {
-    sink.put_raw(frame.payload.data(), frame.payload.size());
+    w.tag(wire::kDataFrame);
+    w.uv(wire::f::kFrameSeq, frame.seq);
+    w.uv(wire::f::kFrameAck, frame.ack);
+    w.raw(wire::f::kFramePayload, frame.payload.data(), frame.payload.size());
+  } else {
+    w.tag(wire::kAckFrame);
+    w.uv(wire::f::kAckFrameAck, frame.ack);
   }
-  append_crc(sink);
+  w.crc(wire::f::kFrameCrc);
   return sink.bytes();
 }
+
+// The schema and the Frame::Kind enum name the same first wire byte.
+static_assert(static_cast<int>(Frame::Kind::kData) == wire::kDataFrame.tag);
+static_assert(static_cast<int>(Frame::Kind::kAck) == wire::kAckFrame.tag);
 
 Frame decode_frame(const net::Payload& bytes) {
   if (bytes.size() < 1 + kCrcBytes) {
@@ -49,17 +50,18 @@ Frame decode_frame(const net::Payload& bytes) {
   }
 
   util::ByteSource src(bytes.data(), body);
+  wire::Reader r(src);
   Frame frame;
   const std::uint8_t tag = src.get_u8();
   if (tag == static_cast<std::uint8_t>(Frame::Kind::kData)) {
     frame.kind = Frame::Kind::kData;
-    frame.seq = src.get_uvarint();
-    frame.ack = src.get_uvarint();
+    frame.seq = r.uv(wire::f::kFrameSeq);
+    frame.ack = r.uv(wire::f::kFrameAck);
     frame.payload.reserve(src.remaining());
     while (!src.exhausted()) frame.payload.push_back(src.get_u8());
   } else if (tag == static_cast<std::uint8_t>(Frame::Kind::kAck)) {
     frame.kind = Frame::Kind::kAck;
-    frame.ack = src.get_uvarint();
+    frame.ack = r.uv(wire::f::kAckFrameAck);
     if (!src.exhausted()) {
       throw util::DecodeError("trailing bytes in ack frame");
     }
@@ -126,50 +128,42 @@ void ReliableLink::encode_state(util::ByteSink& sink) const {
 }
 
 void ReliableLink::encode_state(const State& state, util::ByteSink& sink) {
+  wire::Writer w(sink);
   auto put_entries =
-      [&sink](const std::vector<std::pair<std::uint64_t, net::Payload>>& es) {
-        sink.put_uvarint(es.size());
+      [&w](const wire::FieldDesc& field,
+           const std::vector<std::pair<std::uint64_t, net::Payload>>& es) {
+        w.count(field, es.size());
         for (const auto& [seq, payload] : es) {
-          sink.put_uvarint(seq);
-          sink.put_uvarint(payload.size());
-          sink.put_raw(payload.data(), payload.size());
+          w.uv(wire::f::kLinkEntrySeq, seq);
+          w.blob(wire::f::kLinkEntryPayload, payload.data(), payload.size());
         }
       };
-  sink.put_uvarint(state.next_seq);
-  sink.put_uvarint(state.expected);
-  sink.put_u8(state.ack_due ? 1 : 0);
-  put_entries(state.unacked);
-  put_entries(state.out_of_order);
+  w.uv(wire::f::kLinkNextSeq, state.next_seq);
+  w.uv(wire::f::kLinkExpected, state.expected);
+  w.u8(wire::f::kLinkAckDue, state.ack_due ? 1 : 0);
+  put_entries(wire::f::kLinkUnacked, state.unacked);
+  put_entries(wire::f::kLinkOutOfOrder, state.out_of_order);
 }
 
 ReliableLink::State ReliableLink::decode_state(util::ByteSource& src) {
-  auto read_entries = [&src] {
-    const std::uint64_t n = src.get_uvarint();
-    if (n > src.remaining()) {
-      throw util::DecodeError("corrupt link state: entry count");
-    }
+  wire::Reader r(src);
+  auto read_entries = [&r](const wire::FieldDesc& field) {
+    const std::uint64_t n = r.count(field);
     std::vector<std::pair<std::uint64_t, net::Payload>> entries;
     entries.reserve(static_cast<std::size_t>(n));
     for (std::uint64_t i = 0; i < n; ++i) {
-      const std::uint64_t seq = src.get_uvarint();
-      const std::uint64_t len = src.get_uvarint();
-      if (len > src.remaining()) {
-        throw util::DecodeError("corrupt link state: payload length");
-      }
-      net::Payload payload;
-      payload.reserve(static_cast<std::size_t>(len));
-      for (std::uint64_t k = 0; k < len; ++k) payload.push_back(src.get_u8());
-      entries.emplace_back(seq, std::move(payload));
+      const std::uint64_t seq = r.uv(wire::f::kLinkEntrySeq);
+      entries.emplace_back(seq, r.blob(wire::f::kLinkEntryPayload));
     }
     return entries;
   };
 
   State s;
-  s.next_seq = src.get_uvarint();
-  s.expected = src.get_uvarint();
-  s.ack_due = src.get_u8() != 0;
-  s.unacked = read_entries();
-  s.out_of_order = read_entries();
+  s.next_seq = r.uv(wire::f::kLinkNextSeq);
+  s.expected = r.uv(wire::f::kLinkExpected);
+  s.ack_due = r.u8(wire::f::kLinkAckDue) != 0;
+  s.unacked = read_entries(wire::f::kLinkUnacked);
+  s.out_of_order = read_entries(wire::f::kLinkOutOfOrder);
   return s;
 }
 

@@ -5,11 +5,13 @@
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 #include "util/varint.hpp"
+#include "wire/engine.hpp"
 
 namespace ccvc::engine {
 
 namespace {
-constexpr std::uint8_t kTagSessionCkpt = 0xD3;
+constexpr std::uint8_t kTagSessionCkpt =
+    static_cast<std::uint8_t>(wire::kSessionCheckpoint.tag);
 }  // namespace
 
 ClientSite::SendFn StarSession::client_send_fn(SiteId i) {
@@ -140,15 +142,16 @@ net::Payload StarSession::checkpoint() const {
                  "session checkpoints require quiescence (run the queue "
                  "first) — in-flight traffic is not captured");
   util::ByteSink sink;
-  sink.put_u8(kTagSessionCkpt);
-  sink.put_uvarint(cfg_.num_sites);
+  wire::Writer w(sink);
+  w.tag(wire::kSessionCheckpoint);
+  w.uv(wire::f::kSessionNumSites, cfg_.num_sites);
   const net::Payload notifier_blob = save_checkpoint(*notifier_);
-  sink.put_uvarint(notifier_blob.size());
-  sink.put_raw(notifier_blob.data(), notifier_blob.size());
+  w.blob(wire::f::kSessionNotifierBlob, notifier_blob.data(),
+         notifier_blob.size());
+  w.count(wire::f::kSessionClients, cfg_.num_sites);
   for (SiteId i = 1; i <= cfg_.num_sites; ++i) {
     const net::Payload blob = save_checkpoint(*clients_[i]);
-    sink.put_uvarint(blob.size());
-    sink.put_raw(blob.data(), blob.size());
+    w.blob(wire::f::kBlobBytes, blob.data(), blob.size());
   }
   return sink.bytes();
 }
@@ -163,18 +166,8 @@ StarSession::StarSession(const StarSessionConfig& cfg,
       observer_(observer) {
   util::ByteSource src(checkpoint);
   CCVC_CHECK_MSG(src.get_u8() == kTagSessionCkpt, "not a session checkpoint");
-  cfg_.num_sites = static_cast<std::size_t>(src.get_uvarint());
-
-  auto read_blob = [&src] {
-    const std::uint64_t n = src.get_uvarint();
-    if (n > src.remaining()) {
-      throw util::DecodeError("corrupt session checkpoint: blob length");
-    }
-    net::Payload blob;
-    blob.reserve(static_cast<std::size_t>(n));
-    for (std::uint64_t k = 0; k < n; ++k) blob.push_back(src.get_u8());
-    return blob;
-  };
+  wire::Reader r(src);
+  cfg_.num_sites = static_cast<std::size_t>(r.uv(wire::f::kSessionNumSites));
 
   for (SiteId i = 1; i <= cfg_.num_sites; ++i) {
     net_.add_channel(i, kNotifierSite, cfg_.uplink, cfg_.channel_ordering)
@@ -184,18 +177,19 @@ StarSession::StarSession(const StarSessionConfig& cfg,
   }
 
   notifier_ = std::make_unique<NotifierSite>(
-      load_notifier_checkpoint(read_blob()), cfg_.engine, center_send_fn(),
-      observer);
+      load_notifier_checkpoint(r.blob(wire::f::kSessionNotifierBlob)),
+      cfg_.engine, center_send_fn(), observer);
   CCVC_CHECK_MSG(notifier_->num_sites() == cfg_.num_sites,
                  "checkpoint membership mismatch");
 
   clients_.resize(cfg_.num_sites + 1);
   client_links_.resize(cfg_.num_sites + 1);
   notifier_links_.resize(cfg_.num_sites + 1);
+  r.count_external(wire::f::kSessionClients, cfg_.num_sites);
   for (SiteId i = 1; i <= cfg_.num_sites; ++i) {
     clients_[i] = std::make_unique<ClientSite>(
-        load_client_checkpoint(read_blob()), cfg_.engine, client_send_fn(i),
-        observer);
+        load_client_checkpoint(r.blob(wire::f::kBlobBytes)), cfg_.engine,
+        client_send_fn(i), observer);
     if (cfg_.reliability.enabled) {
       // A session checkpoint is taken at quiescence, so the restored
       // links start fresh connections (nothing unacked, nothing queued).

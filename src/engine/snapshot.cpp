@@ -2,48 +2,53 @@
 
 #include "util/check.hpp"
 #include "util/varint.hpp"
+#include "wire/engine.hpp"
 
 namespace ccvc::engine {
 
 namespace {
 
-constexpr std::uint8_t kTagClientCkpt = 0xD1;
-constexpr std::uint8_t kTagNotifierCkpt = 0xD2;
-constexpr std::uint8_t kTagNotifierBundle = 0xD4;
+constexpr std::uint8_t kTagClientCkpt =
+    static_cast<std::uint8_t>(wire::kClientCheckpoint.tag);
+constexpr std::uint8_t kTagNotifierCkpt =
+    static_cast<std::uint8_t>(wire::kNotifierCheckpoint.tag);
+constexpr std::uint8_t kTagNotifierBundle =
+    static_cast<std::uint8_t>(wire::kNotifierBundle.tag);
 
 // Checkpoints keep full primitive state, including captured delete text
 // (the wire codec deliberately drops it; see text_op.cpp).
 void put_prim(util::ByteSink& sink, const ot::PrimOp& op) {
-  sink.put_u8(static_cast<std::uint8_t>(op.kind));
-  sink.put_uvarint(op.pos);
-  sink.put_uvarint(op.count);
-  sink.put_uvarint(op.origin);
-  sink.put_string(op.text);
+  wire::Writer w(sink);
+  w.u8(wire::f::kCkptOpKind, static_cast<std::uint8_t>(op.kind));
+  w.uv(wire::f::kCkptOpPos, op.pos);
+  w.uv(wire::f::kCkptOpCount, op.count);
+  w.uv(wire::f::kCkptOpOrigin, op.origin);
+  w.str(wire::f::kCkptOpText, op.text);
 }
 
 ot::PrimOp get_prim(util::ByteSource& src) {
+  wire::Reader r(src);
   ot::PrimOp op;
   const auto kind = src.get_u8();
-  CCVC_CHECK_MSG(kind <= static_cast<std::uint8_t>(ot::OpKind::kIdentity),
+  CCVC_CHECK_MSG(kind <= wire::f::kCkptOpKind.bound,
                  "corrupt checkpoint: bad op kind");
   op.kind = static_cast<ot::OpKind>(kind);
-  op.pos = static_cast<std::size_t>(src.get_uvarint());
-  op.count = static_cast<std::size_t>(src.get_uvarint());
-  op.origin = src.get_uvarint32();
-  op.text = src.get_string();
+  op.pos = static_cast<std::size_t>(r.uv(wire::f::kCkptOpPos));
+  op.count = static_cast<std::size_t>(r.uv(wire::f::kCkptOpCount));
+  op.origin = r.uv32(wire::f::kCkptOpOrigin);
+  op.text = r.str(wire::f::kCkptOpText);
   return op;
 }
 
 void put_ops(util::ByteSink& sink, const ot::OpList& ops) {
-  sink.put_uvarint(ops.size());
+  wire::Writer w(sink);
+  w.count(wire::f::kCkptOps, ops.size());
   for (const auto& op : ops) put_prim(sink, op);
 }
 
 ot::OpList get_ops(util::ByteSource& src) {
-  const std::uint64_t n = src.get_uvarint();
-  if (n > src.remaining()) {
-    throw util::DecodeError("corrupt checkpoint: op list length");
-  }
+  wire::Reader r(src);
+  const std::uint64_t n = r.count(wire::f::kCkptOps);
   ot::OpList ops;
   ops.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) ops.push_back(get_prim(src));
@@ -51,14 +56,16 @@ ot::OpList get_ops(util::ByteSource& src) {
 }
 
 void put_id(util::ByteSink& sink, const OpId& id) {
-  sink.put_uvarint(id.site);
-  sink.put_uvarint(id.seq);
+  wire::Writer w(sink);
+  w.uv(wire::f::kOpIdSite, id.site);
+  w.uv(wire::f::kOpIdSeq, id.seq);
 }
 
 OpId get_id(util::ByteSource& src) {
+  wire::Reader r(src);
   OpId id;
-  id.site = src.get_uvarint32();
-  id.seq = src.get_uvarint();
+  id.site = r.uv32(wire::f::kOpIdSite);
+  id.seq = r.uv(wire::f::kOpIdSeq);
   return id;
 }
 
@@ -67,30 +74,31 @@ OpId get_id(util::ByteSource& src) {
 net::Payload save_checkpoint(const ClientSite& site) {
   const ClientSite::State s = site.state();
   util::ByteSink sink;
-  sink.put_u8(kTagClientCkpt);
-  sink.put_uvarint(s.id);
-  sink.put_uvarint(s.num_sites);
-  sink.put_string(s.document);
+  wire::Writer w(sink);
+  w.tag(wire::kClientCheckpoint);
+  w.uv(wire::f::kCkptId, s.id);
+  w.uv(wire::f::kCkptNumSites, s.num_sites);
+  w.str(wire::f::kCkptDocument, s.document);
   s.sv.encode(sink);
   s.vc.encode(sink);
-  sink.put_uvarint(s.hb.size());
+  w.count(wire::f::kCkptHb, s.hb.size());
   for (const auto& e : s.hb) {
     put_id(sink, e.id);
-    sink.put_u8(e.source == clocks::HbSource::kLocal ? 1 : 0);
+    w.u8(wire::f::kHbSource, e.source == clocks::HbSource::kLocal ? 1 : 0);
     e.stamp.encode(sink);
     e.full.encode(sink);
     put_ops(sink, e.executed);
   }
-  sink.put_uvarint(s.pending.size());
+  w.count(wire::f::kCkptPending, s.pending.size());
   for (const auto& p : s.pending) {
     put_id(sink, p.id);
-    sink.put_uvarint(p.own_index);
+    w.uv(wire::f::kPendingOwnIndex, p.own_index);
     put_ops(sink, p.ops);
   }
-  sink.put_uvarint(s.max_ack);
-  sink.put_uvarint(s.hb_collected);
-  sink.put_u8(s.departed ? 1 : 0);
-  sink.put_uvarint(s.undone.size());
+  w.uv(wire::f::kCkptMaxAck, s.max_ack);
+  w.uv(wire::f::kCkptHbCollected, s.hb_collected);
+  w.u8(wire::f::kCkptDeparted, s.departed ? 1 : 0);
+  w.count(wire::f::kCkptUndone, s.undone.size());
   for (const auto& id : s.undone) put_id(sink, id);
   return sink.bytes();
 }
@@ -98,35 +106,36 @@ net::Payload save_checkpoint(const ClientSite& site) {
 ClientSite::State load_client_checkpoint(const net::Payload& bytes) {
   util::ByteSource src(bytes);
   CCVC_CHECK_MSG(src.get_u8() == kTagClientCkpt, "not a client checkpoint");
+  wire::Reader r(src);
   ClientSite::State s;
-  s.id = src.get_uvarint32();
-  s.num_sites = static_cast<std::size_t>(src.get_uvarint());
-  s.document = src.get_string();
+  s.id = r.uv32(wire::f::kCkptId);
+  s.num_sites = static_cast<std::size_t>(r.uv(wire::f::kCkptNumSites));
+  s.document = r.str(wire::f::kCkptDocument);
   s.sv = clocks::CompressedSv::decode(src);
   s.vc = clocks::VersionVector::decode(src);
-  const std::uint64_t hb_n = src.get_uvarint();
+  const std::uint64_t hb_n = r.count(wire::f::kCkptHb);
   for (std::uint64_t i = 0; i < hb_n; ++i) {
     ClientHbEntry e;
     e.id = get_id(src);
-    e.source = src.get_u8() ? clocks::HbSource::kLocal
-                            : clocks::HbSource::kFromCenter;
+    e.source = r.u8(wire::f::kHbSource) ? clocks::HbSource::kLocal
+                                        : clocks::HbSource::kFromCenter;
     e.stamp = clocks::CompressedSv::decode(src);
     e.full = clocks::VersionVector::decode(src);
     e.executed = get_ops(src);
     s.hb.push_back(std::move(e));
   }
-  const std::uint64_t p_n = src.get_uvarint();
+  const std::uint64_t p_n = r.count(wire::f::kCkptPending);
   for (std::uint64_t i = 0; i < p_n; ++i) {
     ClientSite::Pending p;
     p.id = get_id(src);
-    p.own_index = src.get_uvarint();
+    p.own_index = r.uv(wire::f::kPendingOwnIndex);
     p.ops = get_ops(src);
     s.pending.push_back(std::move(p));
   }
-  s.max_ack = src.get_uvarint();
-  s.hb_collected = src.get_uvarint();
-  s.departed = src.get_u8() != 0;
-  const std::uint64_t u_n = src.get_uvarint();
+  s.max_ack = r.uv(wire::f::kCkptMaxAck);
+  s.hb_collected = r.uv(wire::f::kCkptHbCollected);
+  s.departed = r.u8(wire::f::kCkptDeparted) != 0;
+  const std::uint64_t u_n = r.count(wire::f::kCkptUndone);
   for (std::uint64_t i = 0; i < u_n; ++i) s.undone.push_back(get_id(src));
   CCVC_CHECK_MSG(src.exhausted(), "trailing bytes in client checkpoint");
   return s;
@@ -138,34 +147,35 @@ net::Payload save_checkpoint(const NotifierSite& site) {
 
 net::Payload encode_notifier_state(const NotifierSite::State& s) {
   util::ByteSink sink;
-  sink.put_u8(kTagNotifierCkpt);
-  sink.put_uvarint(s.num_sites);
-  sink.put_string(s.document);
+  wire::Writer w(sink);
+  w.tag(wire::kNotifierCheckpoint);
+  w.uv(wire::f::kNotifNumSites, s.num_sites);
+  w.str(wire::f::kNotifDocument, s.document);
   s.sv0.encode(sink);
   s.vc.encode(sink);
-  sink.put_uvarint(s.hb.size());
+  w.count(wire::f::kNotifHb, s.hb.size());
   for (const auto& e : s.hb) {
     put_id(sink, e.id);
-    sink.put_uvarint(e.origin);
+    w.uv(wire::f::kNotifierHbOrigin, e.origin);
     e.stamp.encode(sink);
     put_ops(sink, e.executed);
   }
-  sink.put_uvarint(s.outgoing.size());
+  w.count(wire::f::kNotifOutgoing, s.outgoing.size());
   for (const auto& q : s.outgoing) {
-    sink.put_uvarint(q.size());
+    w.count(wire::f::kBridgeEntries, q.size());
     for (const auto& b : q) {
       put_id(sink, b.id);
-      sink.put_uvarint(b.index);
+      w.uv(wire::f::kBridgeIndex, b.index);
       put_ops(sink, b.ops);
     }
   }
-  sink.put_uvarint(s.enqueued.size());
-  for (const auto v : s.enqueued) sink.put_uvarint(v);
-  sink.put_uvarint(s.acked.size());
-  for (const auto v : s.acked) sink.put_uvarint(v);
-  sink.put_uvarint(s.active.size());
-  for (const bool v : s.active) sink.put_u8(v ? 1 : 0);
-  sink.put_uvarint(s.hb_collected);
+  w.count(wire::f::kNotifEnqueued, s.enqueued.size());
+  for (const auto v : s.enqueued) w.uv(wire::f::kCounterValue, v);
+  w.count(wire::f::kNotifAcked, s.acked.size());
+  for (const auto v : s.acked) w.uv(wire::f::kCounterValue, v);
+  w.count(wire::f::kNotifActive, s.active.size());
+  for (const bool v : s.active) w.u8(wire::f::kActiveFlagBit, v ? 1 : 0);
+  w.uv(wire::f::kNotifHbCollected, s.hb_collected);
   return sink.bytes();
 }
 
@@ -173,41 +183,48 @@ NotifierSite::State load_notifier_checkpoint(const net::Payload& bytes) {
   util::ByteSource src(bytes);
   CCVC_CHECK_MSG(src.get_u8() == kTagNotifierCkpt,
                  "not a notifier checkpoint");
+  wire::Reader r(src);
   NotifierSite::State s;
-  s.num_sites = static_cast<std::size_t>(src.get_uvarint());
-  s.document = src.get_string();
+  s.num_sites = static_cast<std::size_t>(r.uv(wire::f::kNotifNumSites));
+  s.document = r.str(wire::f::kNotifDocument);
   s.sv0 = clocks::VersionVector::decode(src);
   s.vc = clocks::VersionVector::decode(src);
-  const std::uint64_t hb_n = src.get_uvarint();
+  const std::uint64_t hb_n = r.count(wire::f::kNotifHb);
   for (std::uint64_t i = 0; i < hb_n; ++i) {
     NotifierHbEntry e;
     e.id = get_id(src);
-    e.origin = src.get_uvarint32();
+    e.origin = r.uv32(wire::f::kNotifierHbOrigin);
     e.stamp = clocks::VersionVector::decode(src);
     e.stamp_sum = e.stamp.sum();
     e.executed = get_ops(src);
     s.hb.push_back(std::move(e));
   }
-  const std::uint64_t q_n = src.get_uvarint();
+  const std::uint64_t q_n = r.count(wire::f::kNotifOutgoing);
   for (std::uint64_t i = 0; i < q_n; ++i) {
     std::vector<NotifierSite::BridgeEntry> q;
-    const std::uint64_t b_n = src.get_uvarint();
+    const std::uint64_t b_n = r.count(wire::f::kBridgeEntries);
     for (std::uint64_t k = 0; k < b_n; ++k) {
       NotifierSite::BridgeEntry b;
       b.id = get_id(src);
-      b.index = src.get_uvarint();
+      b.index = r.uv(wire::f::kBridgeIndex);
       b.ops = get_ops(src);
       q.push_back(std::move(b));
     }
     s.outgoing.push_back(std::move(q));
   }
-  const std::uint64_t e_n = src.get_uvarint();
-  for (std::uint64_t i = 0; i < e_n; ++i) s.enqueued.push_back(src.get_uvarint());
-  const std::uint64_t a_n = src.get_uvarint();
-  for (std::uint64_t i = 0; i < a_n; ++i) s.acked.push_back(src.get_uvarint());
-  const std::uint64_t act_n = src.get_uvarint();
-  for (std::uint64_t i = 0; i < act_n; ++i) s.active.push_back(src.get_u8() != 0);
-  s.hb_collected = src.get_uvarint();
+  const std::uint64_t e_n = r.count(wire::f::kNotifEnqueued);
+  for (std::uint64_t i = 0; i < e_n; ++i) {
+    s.enqueued.push_back(r.uv(wire::f::kCounterValue));
+  }
+  const std::uint64_t a_n = r.count(wire::f::kNotifAcked);
+  for (std::uint64_t i = 0; i < a_n; ++i) {
+    s.acked.push_back(r.uv(wire::f::kCounterValue));
+  }
+  const std::uint64_t act_n = r.count(wire::f::kNotifActive);
+  for (std::uint64_t i = 0; i < act_n; ++i) {
+    s.active.push_back(r.u8(wire::f::kActiveFlagBit) != 0);
+  }
+  s.hb_collected = r.uv(wire::f::kNotifHbCollected);
   CCVC_CHECK_MSG(src.exhausted(), "trailing bytes in notifier checkpoint");
   return s;
 }
@@ -216,11 +233,12 @@ net::Payload encode_notifier_bundle(const NotifierBundle& bundle) {
   CCVC_CHECK_MSG(bundle.links.size() == bundle.num_sites,
                  "notifier bundle needs one link state per site");
   util::ByteSink sink;
-  sink.put_u8(kTagNotifierBundle);
-  sink.put_uvarint(bundle.num_sites);
+  wire::Writer w(sink);
+  w.tag(wire::kNotifierBundle);
+  w.uv(wire::f::kBundleNumSites, bundle.num_sites);
   const net::Payload blob = encode_notifier_state(bundle.notifier);
-  sink.put_uvarint(blob.size());
-  sink.put_raw(blob.data(), blob.size());
+  w.blob(wire::f::kBundleNotifierBlob, blob.data(), blob.size());
+  w.count(wire::f::kBundleLinks, bundle.links.size());
   for (const ReliableLink::State& link : bundle.links) {
     ReliableLink::encode_state(link, sink);
   }
@@ -232,18 +250,14 @@ NotifierBundle decode_notifier_bundle(const net::Payload& bytes) {
   if (src.get_u8() != kTagNotifierBundle) {
     throw util::DecodeError("not a notifier checkpoint bundle");
   }
+  wire::Reader r(src);
   NotifierBundle bundle;
-  bundle.num_sites = static_cast<std::size_t>(src.get_uvarint());
-  const std::uint64_t n = src.get_uvarint();
-  if (n > src.remaining()) {
-    throw util::DecodeError("corrupt notifier bundle: blob length");
-  }
-  net::Payload blob;
-  blob.reserve(static_cast<std::size_t>(n));
-  for (std::uint64_t k = 0; k < n; ++k) blob.push_back(src.get_u8());
+  bundle.num_sites = static_cast<std::size_t>(r.uv(wire::f::kBundleNumSites));
+  const net::Payload blob = r.blob(wire::f::kBundleNotifierBlob);
   bundle.notifier = load_notifier_checkpoint(blob);
   // One link state per site; each consumes ≥ 3 bytes or throws, so a
   // hostile num_sites cannot loop past the input.
+  r.count_external(wire::f::kBundleLinks, bundle.num_sites);
   for (std::size_t i = 0; i < bundle.num_sites; ++i) {
     bundle.links.push_back(ReliableLink::decode_state(src));
   }

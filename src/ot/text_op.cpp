@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "wire/engine.hpp"
 
 namespace ccvc::ot {
 
@@ -31,19 +32,20 @@ std::ptrdiff_t PrimOp::size_delta() const {
 }
 
 void PrimOp::encode(util::ByteSink& sink) const {
-  sink.put_u8(static_cast<std::uint8_t>(kind));
-  sink.put_uvarint(origin);
+  wire::Writer w(sink);
+  w.u8(wire::f::kWireOpKind, static_cast<std::uint8_t>(kind));
+  w.uv(wire::f::kWireOpOrigin, origin);
   switch (kind) {
     case OpKind::kInsert:
-      sink.put_uvarint(pos);
-      sink.put_string(text);
+      w.uv(wire::f::kWireOpPos, pos);
+      w.str(wire::f::kWireOpText, text);
       break;
     case OpKind::kDelete:
       // Deleted text is a local artifact (captured at execution for
       // invertibility) and is never shipped — REDUCE's Delete[n, p] wire
       // form carries the position and count only.
-      sink.put_uvarint(pos);
-      sink.put_uvarint(count);
+      w.uv(wire::f::kWireOpPos, pos);
+      w.uv(wire::f::kWireOpCount, count);
       break;
     case OpKind::kIdentity:
       break;
@@ -51,20 +53,24 @@ void PrimOp::encode(util::ByteSink& sink) const {
 }
 
 PrimOp PrimOp::decode(util::ByteSource& src) {
+  wire::Reader r(src);
   PrimOp op;
+  // The kind byte stays a protocol contract (ContractViolation, pinned
+  // by tests) rather than the engine's DecodeError; the legal range
+  // still comes from the schema.
   const auto kind_byte = src.get_u8();
-  CCVC_CHECK_MSG(kind_byte <= static_cast<std::uint8_t>(OpKind::kIdentity),
+  CCVC_CHECK_MSG(kind_byte <= wire::f::kWireOpKind.bound,
                  "bad op kind on the wire");
   op.kind = static_cast<OpKind>(kind_byte);
-  op.origin = src.get_uvarint32();
+  op.origin = r.uv32(wire::f::kWireOpOrigin);
   switch (op.kind) {
     case OpKind::kInsert:
-      op.pos = static_cast<std::size_t>(src.get_uvarint());
-      op.text = src.get_string();
+      op.pos = static_cast<std::size_t>(r.uv(wire::f::kWireOpPos));
+      op.text = r.str(wire::f::kWireOpText);
       break;
     case OpKind::kDelete:
-      op.pos = static_cast<std::size_t>(src.get_uvarint());
-      op.count = static_cast<std::size_t>(src.get_uvarint());
+      op.pos = static_cast<std::size_t>(r.uv(wire::f::kWireOpPos));
+      op.count = static_cast<std::size_t>(r.uv(wire::f::kWireOpCount));
       break;
     case OpKind::kIdentity:
       break;
@@ -224,17 +230,16 @@ OpList decompose(const OpList& ops) {
 }
 
 void encode(const OpList& ops, util::ByteSink& sink) {
-  sink.put_uvarint(ops.size());
+  wire::Writer w(sink);
+  w.count(wire::f::kWireOps, ops.size());
   for (const auto& op : ops) op.encode(sink);
 }
 
 OpList decode_op_list(util::ByteSource& src) {
-  const std::uint64_t n = src.get_uvarint();
-  if (n > src.remaining()) {
-    // Every primitive costs at least two bytes on the wire; a larger
-    // count is a malformed length claim — fail before allocating.
-    throw util::DecodeError("op list length exceeds message");
-  }
+  wire::Reader r(src);
+  // Every primitive costs at least two bytes on the wire; the count()
+  // engine check rejects larger claims before allocating.
+  const std::uint64_t n = r.count(wire::f::kWireOps);
   OpList ops;
   ops.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) ops.push_back(PrimOp::decode(src));

@@ -1,0 +1,41 @@
+// Generators driven by the wire-schema registry.
+//
+// Everything ccvc_schema writes to disk is produced here as a
+// deterministic string, so tests can diff committed artifacts against
+// the live schema without touching the filesystem:
+//   * schema_json()  — docs/schema.json, the machine-readable protocol
+//     description (format "ccvc-wire-schema/1");
+//   * doc_table()    — the PROTOCOL.md §2.0 tag table, which lives in
+//     the doc between `ccvc_schema:doc-table:begin/end` markers and
+//     must match this output byte-for-byte;
+//   * fuzz_dicts()   — one libFuzzer dictionary per fuzz/ harness
+//     (tag bytes plus per-field bound / bound+1 varint encodings).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ccvc::wire {
+
+/// Exact content of docs/schema.json, trailing newline included.
+std::string schema_json();
+
+/// Exact content between the PROTOCOL.md doc-table markers, trailing
+/// newline included.
+std::string doc_table();
+
+/// Marker lines bounding the generated block in docs/PROTOCOL.md.
+inline constexpr const char* kDocTableBegin =
+    "<!-- ccvc_schema:doc-table:begin -->";
+inline constexpr const char* kDocTableEnd =
+    "<!-- ccvc_schema:doc-table:end -->";
+
+struct DictFile {
+  std::string name;     ///< file name under fuzz/dict/
+  std::string content;  ///< exact file content
+};
+
+/// One dictionary per fuzz harness, in harness order.
+std::vector<DictFile> fuzz_dicts();
+
+}  // namespace ccvc::wire

@@ -1,0 +1,78 @@
+#include "wire/engine.hpp"
+
+#include <sstream>
+
+#include "util/checksum.hpp"
+
+namespace ccvc::wire {
+
+namespace detail {
+
+void encode_bound_failed(const FieldDesc& f, std::uint64_t v) {
+  std::ostringstream os;
+  os << "wire field '" << f.name << "' value " << v
+     << " exceeds its declared bound " << f.bound;
+  throw ContractViolation(os.str());
+}
+
+void decode_bound_failed(const FieldDesc& f, std::uint64_t v) {
+  std::ostringstream os;
+  os << "wire field '" << f.name << "': decoded value " << v
+     << " exceeds its declared bound " << f.bound;
+  throw util::DecodeError(os.str());
+}
+
+void decode_length_failed(const FieldDesc& f, std::uint64_t n) {
+  std::ostringstream os;
+  os << "wire field '" << f.name << "': length claim " << n
+     << " exceeds the remaining message bytes";
+  throw util::DecodeError(os.str());
+}
+
+}  // namespace detail
+
+void Writer::crc(const FieldDesc& f) {
+  CCVC_DCHECK(f.kind == FieldKind::kCrc32);
+  (void)f;
+  const std::uint32_t crc = util::crc32(sink_.bytes());
+  sink_.put_u8(static_cast<std::uint8_t>(crc));
+  sink_.put_u8(static_cast<std::uint8_t>(crc >> 8));
+  sink_.put_u8(static_cast<std::uint8_t>(crc >> 16));
+  sink_.put_u8(static_cast<std::uint8_t>(crc >> 24));
+}
+
+std::string Reader::str(const FieldDesc& f) {
+  CCVC_DCHECK(f.kind == FieldKind::kString);
+  // Peek the length prefix ourselves so the bound check runs before
+  // get_string touches the remaining-bytes contract.
+  const std::uint64_t n = src_.get_uvarint();
+  if (n > f.bound) detail::decode_bound_failed(f, n);
+  if (n > src_.remaining()) detail::decode_length_failed(f, n);
+  std::string s;
+  s.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    s.push_back(static_cast<char>(src_.get_u8()));
+  }
+  return s;
+}
+
+std::vector<std::uint8_t> Reader::blob(const FieldDesc& f) {
+  CCVC_DCHECK(f.kind == FieldKind::kBytes);
+  const std::uint64_t n = src_.get_uvarint();
+  if (n > f.bound) detail::decode_bound_failed(f, n);
+  if (n > src_.remaining()) detail::decode_length_failed(f, n);
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(src_.get_u8());
+  return out;
+}
+
+const MessageDesc* find_by_tag(int tag) {
+  if (tag == kNoTag) return nullptr;  // untagged records never match
+  for (const MessageDesc* m : kRegistry) {
+    if (m->tag == tag) return m;
+  }
+  return nullptr;
+}
+
+}  // namespace ccvc::wire

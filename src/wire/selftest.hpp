@@ -1,0 +1,26 @@
+// Exhaustive boundary-value round-trips over every declared bound.
+//
+// For each field of each registry message the self-test pushes the
+// values 0, 1, bound−1 and bound through the shared engine and demands
+// identity, then crafts a bound+1 wire value (or length/count claim)
+// and demands DecodeError on the way in and ContractViolation on the
+// way out.  Run by `ccvc_schema --check` and by the `schema`-labeled
+// unit tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ccvc::wire {
+
+struct SelftestResult {
+  std::size_t checks = 0;                ///< individual assertions run
+  std::vector<std::string> failures;     ///< empty ⇔ pass
+
+  bool ok() const { return failures.empty(); }
+};
+
+SelftestResult boundary_selftest();
+
+}  // namespace ccvc::wire

@@ -124,9 +124,13 @@ TEST(MessageDecode, HostileDeleteCountIsRejectedBeforeAllocating) {
   sink.put_uvarint(1);  // id.site
   sink.put_uvarint(1);  // id.seq
   CompressedSv{0, 1}.encode(sink);
-  ot::OpList hostile;
-  hostile.push_back(ot::PrimOp{ot::OpKind::kDelete, 0, "", 1ull << 60, 1});
-  ot::encode(hostile, sink);
+  // Hand-rolled: the schema-checked encoder refuses to produce a count
+  // past the declared bound, so forge the bytes directly.
+  sink.put_uvarint(1);           // one op
+  sink.put_u8(1);                // Delete
+  sink.put_uvarint(1);           // origin
+  sink.put_uvarint(0);           // pos
+  sink.put_uvarint(1ull << 60);  // hostile count claim
   EXPECT_THROW(engine::decode_client_msg(sink.bytes(),
                                          engine::StampMode::kCompressed),
                DecodeError);

@@ -1,0 +1,97 @@
+// Per-field boundary enforcement: the exhaustive self-test sweeps every
+// declared bound through the shared engine, and targeted cases confirm
+// the bounds actually protect the real top-level decoders.
+#include <gtest/gtest.h>
+
+#include "engine/message.hpp"
+#include "engine/reliable_link.hpp"
+#include "engine/session.hpp"
+#include "engine/snapshot.hpp"
+#include "util/check.hpp"
+#include "util/varint.hpp"
+#include "wire/engine.hpp"
+#include "wire/selftest.hpp"
+
+namespace {
+
+using namespace ccvc;
+
+TEST(BoundarySelftest, EveryDeclaredBoundRoundTripsAndRejects) {
+  const wire::SelftestResult r = wire::boundary_selftest();
+  for (const auto& f : r.failures) ADD_FAILURE() << f;
+  EXPECT_TRUE(r.ok());
+  // One boundary sweep per variable-length field; a sudden drop means
+  // fields silently left the schema.
+  EXPECT_GE(r.checks, 200u);
+}
+
+TEST(BoundReject, EncodeOverBoundIsContractViolation) {
+  util::ByteSink sink;
+  wire::Writer w(sink);
+  EXPECT_THROW(w.uv(wire::f::kWireOpCount, wire::kMaxDeleteCount + 1),
+               ContractViolation);
+  EXPECT_THROW(w.u8(wire::f::kWireOpKind, 3), ContractViolation);
+  EXPECT_THROW(w.count(wire::f::kWireOps, wire::kMaxOps + 1),
+               ContractViolation);
+}
+
+TEST(BoundReject, DecodeOverBoundIsDecodeErrorBeforeLengthCheck) {
+  // A hostile op-count claim far past the bound, in a tiny buffer: the
+  // bound check must fire (DecodeError), not the remaining-bytes check.
+  util::ByteSink sink;
+  sink.put_u8(0xC1);
+  sink.put_uvarint(1);  // id.site
+  sink.put_uvarint(1);  // id.seq
+  sink.put_uvarint(0);  // csv T[1]
+  sink.put_uvarint(1);  // csv T[2]
+  sink.put_uvarint(wire::kMaxOps + 1);  // hostile op count
+  EXPECT_THROW(engine::decode_client_msg(sink.bytes(),
+                                         engine::StampMode::kCompressed),
+               util::DecodeError);
+}
+
+TEST(BoundReject, ClientCheckpointHostileHistoryCountRejected) {
+  util::ByteSink sink;
+  sink.put_u8(0xD1);
+  sink.put_uvarint(1);   // id
+  sink.put_uvarint(2);   // num_sites
+  sink.put_string("x");  // document
+  sink.put_uvarint(0);   // sv T[1]
+  sink.put_uvarint(0);   // sv T[2]
+  sink.put_uvarint(0);   // vc: empty
+  sink.put_uvarint(wire::kMaxHistory + 1);  // hostile hb count
+  EXPECT_THROW(engine::load_client_checkpoint(sink.bytes()),
+               util::DecodeError);
+}
+
+TEST(BoundReject, NotifierBundleHostileBlobLengthRejected) {
+  util::ByteSink sink;
+  sink.put_u8(0xD4);
+  sink.put_uvarint(1);                    // num_sites
+  sink.put_uvarint(wire::kMaxBlob + 1);   // hostile blob length claim
+  EXPECT_THROW(engine::decode_notifier_bundle(sink.bytes()),
+               util::DecodeError);
+}
+
+TEST(BoundReject, LinkStateAckDueByteMustBeBoolean) {
+  // The schema says ack_due ∈ {0,1}; 2 is malformed wire input now.
+  util::ByteSink sink;
+  sink.put_uvarint(1);  // next_seq
+  sink.put_uvarint(1);  // expected
+  sink.put_u8(2);       // bad flag
+  sink.put_uvarint(0);  // unacked
+  sink.put_uvarint(0);  // out_of_order
+  util::ByteSource src(sink.bytes());
+  EXPECT_THROW(engine::ReliableLink::decode_state(src), util::DecodeError);
+}
+
+TEST(BoundReject, SessionCheckpointHostileNumSitesRejected) {
+  util::ByteSink sink;
+  sink.put_u8(0xD3);
+  sink.put_uvarint(wire::kMaxSites + 1);  // hostile membership claim
+  EXPECT_THROW(
+      engine::StarSession(engine::StarSessionConfig{}, sink.bytes()),
+      util::DecodeError);
+}
+
+}  // namespace

@@ -1,0 +1,23 @@
+// MUST NOT COMPILE — negative-compile test (ctest WILL_FAIL).
+//
+// Two messages claiming wire tag 0xC1: CCVC_WIRE_VALIDATE_REGISTRY's
+// unique_tags static_assert has to reject this registry at build time.
+#include "wire/schema.hpp"
+
+namespace bad {
+
+using ccvc::wire::FieldDesc;
+using ccvc::wire::FieldKind;
+using ccvc::wire::MessageDesc;
+
+inline constexpr FieldDesc kFields[] = {
+    {.name = "x", .kind = FieldKind::kUvarint64, .bound = 10},
+};
+inline constexpr MessageDesc kFirst{"First", 0xC1, kFields, 1, "", ""};
+inline constexpr MessageDesc kSecond{"Second", 0xC1, kFields, 1, "", ""};
+
+inline constexpr const MessageDesc* kBadRegistry[] = {&kFirst, &kSecond};
+
+CCVC_WIRE_VALIDATE_REGISTRY(kBadRegistry, 2);
+
+}  // namespace bad

@@ -1,0 +1,24 @@
+// MUST COMPILE — positive control for the negative-compile tests.
+//
+// Structurally identical to the failing TUs but schema-valid, proving
+// the WILL_FAIL results come from the static_asserts and not from an
+// include path or syntax problem shared by all three TUs.
+#include "wire/schema.hpp"
+
+namespace good {
+
+using ccvc::wire::FieldDesc;
+using ccvc::wire::FieldKind;
+using ccvc::wire::MessageDesc;
+
+inline constexpr FieldDesc kFields[] = {
+    {.name = "x", .kind = FieldKind::kUvarint64, .bound = 10},
+};
+inline constexpr MessageDesc kFirst{"First", 0xE0, kFields, 1, "", ""};
+inline constexpr MessageDesc kSecond{"Second", 0xE1, kFields, 1, "", ""};
+
+inline constexpr const MessageDesc* kGoodRegistry[] = {&kFirst, &kSecond};
+
+CCVC_WIRE_VALIDATE_REGISTRY(kGoodRegistry, 2);
+
+}  // namespace good

@@ -1,0 +1,23 @@
+// MUST NOT COMPILE — negative-compile test (ctest WILL_FAIL).
+//
+// A string field without a declared bound (bound = 0): the canonical-
+// form rule "every variable-length field is bounded" has to fail the
+// build via CCVC_WIRE_VALIDATE_REGISTRY's all_fields_valid assert.
+#include "wire/schema.hpp"
+
+namespace bad {
+
+using ccvc::wire::FieldDesc;
+using ccvc::wire::FieldKind;
+using ccvc::wire::MessageDesc;
+
+inline constexpr FieldDesc kFields[] = {
+    {.name = "text", .kind = FieldKind::kString},  // no bound!
+};
+inline constexpr MessageDesc kMsg{"Unbounded", 0xE0, kFields, 1, "", ""};
+
+inline constexpr const MessageDesc* kBadRegistry[] = {&kMsg};
+
+CCVC_WIRE_VALIDATE_REGISTRY(kBadRegistry, 1);
+
+}  // namespace bad

@@ -1,0 +1,65 @@
+#!/usr/bin/env sh
+# Mutation test for `ccvc_schema --check`: the gate must pass on a
+# faithful copy of the committed artifacts and FAIL when any one of
+# them is mutated (stale schema.json, drifted doc table, stale dict).
+# Usage: schema_check_mutation.sh <ccvc_schema-binary> <repo-root>
+set -eu
+
+BIN=$1
+ROOT=$2
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+stage() {
+  rm -rf "$TMP/docs" "$TMP/fuzz"
+  mkdir -p "$TMP/docs" "$TMP/fuzz/dict"
+  cp "$ROOT/docs/schema.json" "$TMP/docs/schema.json"
+  cp "$ROOT/docs/PROTOCOL.md" "$TMP/docs/PROTOCOL.md"
+  cp "$ROOT"/fuzz/dict/*.dict "$TMP/fuzz/dict/"
+}
+
+expect_fail() {
+  if "$BIN" --check --root "$TMP" >/dev/null 2>&1; then
+    echo "FAIL: --check accepted a mutated $1" >&2
+    exit 1
+  fi
+  echo "ok: --check rejected mutated $1"
+}
+
+# Control: the faithful copy passes.
+stage
+"$BIN" --check --root "$TMP" >/dev/null
+echo "ok: --check passes on a faithful copy"
+
+# Mutation 1: a bound silently edited in the committed schema.json.
+stage
+sed 's/"bound": "1048576"/"bound": "1048577"/' \
+  "$TMP/docs/schema.json" > "$TMP/docs/schema.json.new"
+mv "$TMP/docs/schema.json.new" "$TMP/docs/schema.json"
+expect_fail "schema.json (edited bound)"
+
+# Mutation 2: a row of the generated PROTOCOL.md table drifts.
+stage
+sed 's/| `0xC1` | ClientMsg |/| `0xC1` | ClientMessage |/' \
+  "$TMP/docs/PROTOCOL.md" > "$TMP/docs/PROTOCOL.md.new"
+mv "$TMP/docs/PROTOCOL.md.new" "$TMP/docs/PROTOCOL.md"
+expect_fail "PROTOCOL.md (renamed table row)"
+
+# Mutation 3: the doc-table markers vanish entirely.
+stage
+sed 's/<!-- ccvc_schema:doc-table:begin -->//' \
+  "$TMP/docs/PROTOCOL.md" > "$TMP/docs/PROTOCOL.md.new"
+mv "$TMP/docs/PROTOCOL.md.new" "$TMP/docs/PROTOCOL.md"
+expect_fail "PROTOCOL.md (missing markers)"
+
+# Mutation 4: a fuzz dictionary goes stale.
+stage
+echo '# stale entry' >> "$TMP/fuzz/dict/message.dict"
+expect_fail "fuzz/dict/message.dict (appended entry)"
+
+# Mutation 5: schema.json deleted.
+stage
+rm "$TMP/docs/schema.json"
+expect_fail "schema.json (missing file)"
+
+echo "schema_check_mutation: all mutations rejected"

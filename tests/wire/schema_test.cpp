@@ -1,0 +1,122 @@
+// Registry-level properties of the declarative schema and determinism
+// of the artifacts ccvc_schema derives from it.  (Whether the committed
+// files match is the analyzer's job — the `schema_check` ctest runs
+// `ccvc_schema --check` against the source tree.)
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "wire/emit.hpp"
+#include "wire/engine.hpp"
+#include "wire/schema.hpp"
+
+namespace {
+
+using namespace ccvc;
+
+TEST(SchemaRegistry, EveryDocumentedTagResolves) {
+  // The ten §2.0 tags, exactly.
+  const std::set<int> expected = {0xC1, 0xC2, 0xC3, 0xC4, 0xD1,
+                                  0xD2, 0xD3, 0xD4, 0xF0, 0xF1};
+  std::set<int> found;
+  for (const wire::MessageDesc* m : wire::kRegistry) {
+    if (m->tag != wire::kNoTag) found.insert(m->tag);
+  }
+  EXPECT_EQ(found, expected);
+  for (int tag : expected) {
+    const wire::MessageDesc* m = wire::find_by_tag(tag);
+    ASSERT_NE(m, nullptr) << "tag " << tag;
+    EXPECT_EQ(m->tag, tag);
+  }
+  EXPECT_EQ(wire::find_by_tag(0xAB), nullptr);
+  EXPECT_EQ(wire::find_by_tag(wire::kNoTag), nullptr);
+}
+
+TEST(SchemaRegistry, NamesAreUniqueAcrossTheRegistry) {
+  std::set<std::string> names;
+  for (const wire::MessageDesc* m : wire::kRegistry) {
+    EXPECT_TRUE(names.insert(m->name).second) << m->name;
+  }
+  EXPECT_EQ(names.size(), wire::kRegistrySize);
+}
+
+TEST(SchemaRegistry, ConstexprValidatorsHoldAtRuntimeToo) {
+  // The same predicates the static_asserts evaluate, reported per
+  // message for debuggability.
+  for (const wire::MessageDesc* m : wire::kRegistry) {
+    EXPECT_TRUE(wire::fields_valid(*m)) << m->name;
+    EXPECT_TRUE(wire::acyclic(m, 0)) << m->name;
+  }
+  EXPECT_TRUE(wire::unique_tags(wire::kRegistry, wire::kRegistrySize));
+  EXPECT_TRUE(wire::registry_closed(wire::kRegistry, wire::kRegistrySize));
+}
+
+TEST(SchemaRegistry, SubRecordsPrecedeTaggedMessages) {
+  // The registry is canonical: every untagged record before any tagged
+  // one, tagged ones in ascending tag order (schema.json inherits it).
+  bool seen_tagged = false;
+  int last_tag = -1;
+  for (const wire::MessageDesc* m : wire::kRegistry) {
+    if (m->tag == wire::kNoTag) {
+      EXPECT_FALSE(seen_tagged) << m->name << " listed after tagged entries";
+    } else {
+      seen_tagged = true;
+      EXPECT_GT(m->tag, last_tag) << m->name << " out of tag order";
+      last_tag = m->tag;
+    }
+  }
+}
+
+TEST(SchemaEmit, JsonIsDeterministicAndCoversTheRegistry) {
+  const std::string a = wire::schema_json();
+  EXPECT_EQ(a, wire::schema_json());
+  EXPECT_NE(a.find("\"format\": \"ccvc-wire-schema/1\""), std::string::npos);
+  for (const wire::MessageDesc* m : wire::kRegistry) {
+    EXPECT_NE(a.find("\"name\": \"" + std::string(m->name) + "\""),
+              std::string::npos)
+        << m->name;
+  }
+  EXPECT_EQ(a.back(), '\n');
+}
+
+TEST(SchemaEmit, DocTableIsDeterministicTagSortedAndComplete) {
+  const std::string t = wire::doc_table();
+  EXPECT_EQ(t, wire::doc_table());
+  std::size_t pos = 0;
+  for (int tag : {0xC1, 0xC2, 0xC3, 0xC4, 0xD1, 0xD2, 0xD3, 0xD4, 0xF0,
+                  0xF1}) {
+    char row[16];
+    std::snprintf(row, sizeof row, "| `0x%02X` |", tag);
+    const std::size_t at = t.find(row);
+    ASSERT_NE(at, std::string::npos) << row;
+    EXPECT_GT(at, pos) << "rows out of tag order at " << row;
+    pos = at;
+  }
+}
+
+TEST(SchemaEmit, DictsCoverEveryTagAndAreDeterministic) {
+  const auto dicts = wire::fuzz_dicts();
+  ASSERT_FALSE(dicts.empty());
+  std::string all;
+  for (const auto& d : dicts) {
+    EXPECT_FALSE(d.name.empty());
+    EXPECT_FALSE(d.content.empty());
+    all += d.content;
+  }
+  // Every wire tag appears as a dictionary token somewhere.
+  for (const wire::MessageDesc* m : wire::kRegistry) {
+    if (m->tag == wire::kNoTag) continue;
+    char token[32];
+    std::snprintf(token, sizeof token, "\\x%02x", m->tag);
+    EXPECT_NE(all.find(token), std::string::npos) << m->name;
+  }
+  const auto again = wire::fuzz_dicts();
+  ASSERT_EQ(again.size(), dicts.size());
+  for (std::size_t i = 0; i < dicts.size(); ++i) {
+    EXPECT_EQ(again[i].name, dicts[i].name);
+    EXPECT_EQ(again[i].content, dicts[i].content);
+  }
+}
+
+}  // namespace

@@ -55,6 +55,24 @@ Enforces invariants generic tools cannot express:
                      Skipped: absolute paths, build/ outputs, and
                      references without a directory component.
 
+  hand-rolled-codec  Outside src/wire/ and src/util/, code must not
+                     call the raw varint/string primitives
+                     (put_uvarint, get_string, ...).  A hand-rolled
+                     encode skips the schema's bound checks and drifts
+                     from docs/schema.json invisibly; route wire bytes
+                     through wire::Writer / wire::Reader against a
+                     FieldDesc so every field stays declared, bounded,
+                     and fuzz-dictionary-covered.
+
+  schema-doc-table   The generated table in docs/PROTOCOL.md §2.0
+                     (between the ccvc_schema:doc-table markers) must
+                     match a re-derivation from docs/schema.json.  The
+                     C++ side (`ccvc_schema --check`) verifies
+                     schema.hpp against both artifacts; this check is
+                     the independent second implementation, so a bug
+                     in the C++ emitter cannot silently bless drifted
+                     docs.
+
 A finding can be suppressed for one line with a trailing comment:
     do_thing();  // ccvc-lint: allow(<rule>) <justification>
 
@@ -64,6 +82,7 @@ Exit status: 0 clean, 1 findings, 2 usage/internal error.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import re
 import subprocess
@@ -79,6 +98,8 @@ RULES = (
     "raw-channel-send",
     "metric-name",
     "doc-xref",
+    "hand-rolled-codec",
+    "schema-doc-table",
 )
 
 # Files allowed to print: the observer/presentation layer, plus
@@ -89,6 +110,7 @@ PRINT_WHITELIST = {
     "src/util/table.cpp",
     "src/util/table.hpp",
     "src/analysis/mc_main.cpp",
+    "src/analysis/schema_main.cpp",
 }
 
 BARE_ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
@@ -122,6 +144,15 @@ METRIC_USE_RE = re.compile(
 # A metric name in the instrument catalog: dotted lower-case, at least
 # two components (filters out prose words and C++ identifiers).
 METRIC_NAME_RE = re.compile(r"[a-z0-9_]+(?:\.[a-z0-9_]+)+")
+# The raw byte-level codec primitives (util::ByteSink/ByteSource).
+# Only src/wire/ (the schema engine) and src/util/ (the primitives
+# themselves) may call these.
+HAND_ROLLED_CODEC_RE = re.compile(
+    r"\b(?:put_uvarint|put_svarint|put_string|"
+    r"get_uvarint32|get_uvarint|get_svarint|get_string)\s*\("
+)
+DOC_TABLE_BEGIN = "<!-- ccvc_schema:doc-table:begin -->"
+DOC_TABLE_END = "<!-- ccvc_schema:doc-table:end -->"
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -211,6 +242,14 @@ class Linter:
                                 "library code must not print; route output "
                                 "through an observer")
 
+            if (not rel.startswith(("src/wire/", "src/util/"))
+                    and HAND_ROLLED_CODEC_RE.search(line)):
+                if "hand-rolled-codec" not in allowed:
+                    self.report(path, lineno, "hand-rolled-codec",
+                                "raw varint/string codec call outside "
+                                "src/wire/ — encode through wire::Writer/"
+                                "wire::Reader against a schema FieldDesc")
+
             if rel.startswith("src/engine/") and RAW_CHANNEL_SEND_RE.search(line):
                 if "raw-channel-send" not in allowed:
                     self.report(path, lineno, "raw-channel-send",
@@ -259,6 +298,57 @@ class Linter:
                 self.report(path, lineno, "doc-xref",
                             f"dangling file reference '{ref}' — no such "
                             "file at the repo root or under src/")
+
+    def lint_schema_doc_table(self) -> None:
+        """Re-derive the PROTOCOL.md §2.0 message table from
+        docs/schema.json and compare it byte-for-byte against the
+        committed block between the doc-table markers.
+
+        This deliberately duplicates wire::doc_table() in a second
+        language: `ccvc_schema --check` proves schema.hpp, schema.json
+        and the doc agree with the C++ emitter; this check proves the
+        same triangle from schema.json outward, so an emitter bug
+        cannot vouch for its own output."""
+        schema_path = self.root / "docs" / "schema.json"
+        proto_path = self.root / "docs" / "PROTOCOL.md"
+        if not schema_path.exists() or not proto_path.exists():
+            return  # nothing to cross-check (e.g. partial tree)
+        try:
+            schema = json.loads(schema_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as e:
+            self.report(schema_path, e.lineno, "schema-doc-table",
+                        f"docs/schema.json is not valid JSON: {e.msg}")
+            return
+        tagged = [m for m in schema.get("messages", [])
+                  if m.get("tag") is not None]
+        tagged.sort(key=lambda m: int(m["tag"], 16))
+        derived = ["| tag | name | direction / purpose | layout |",
+                   "|---|---|---|---|"]
+        derived += [f"| `{m['tag']}` | {m['name']} | {m['doc']} "
+                    f"| {m['section']} |" for m in tagged]
+
+        proto_lines = proto_path.read_text(encoding="utf-8").splitlines()
+        try:
+            begin = proto_lines.index(DOC_TABLE_BEGIN)
+            end = proto_lines.index(DOC_TABLE_END)
+        except ValueError:
+            self.report(proto_path, 1, "schema-doc-table",
+                        "doc-table markers missing — the §2.0 table must "
+                        f"sit between '{DOC_TABLE_BEGIN}' and "
+                        f"'{DOC_TABLE_END}'")
+            return
+        committed = proto_lines[begin + 1:end]
+        for i, (want, got) in enumerate(zip(derived, committed)):
+            if want != got:
+                self.report(proto_path, begin + 2 + i, "schema-doc-table",
+                            f"generated table drifted from docs/schema.json"
+                            f" — expected '{want}', found '{got}'")
+                return
+        if len(derived) != len(committed):
+            self.report(proto_path, begin + 1, "schema-doc-table",
+                        f"generated table has {len(committed)} line(s) but "
+                        f"docs/schema.json derives {len(derived)} — "
+                        "regenerate with `ccvc_schema --emit-doc-table`")
 
     def catalog_metric_names(self) -> dict[str, int] | None:
         """Metric names documented in OBSERVABILITY.md §3, name → line.
@@ -358,6 +448,7 @@ class Linter:
             docs.append(readme)
         for path in docs:
             self.lint_doc_xrefs(path)
+        self.lint_schema_doc_table()
         if self.compile_headers:
             self.lint_header_standalone(hpps)
 

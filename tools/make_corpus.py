@@ -15,6 +15,18 @@ import pathlib
 import zlib
 
 
+# Declared wire bounds, mirroring src/wire/schema.hpp (docs/schema.json
+# is the committed form).  The *_boundary seeds put length/count claims
+# right at and right past these so the fuzzers start on the exact edges
+# the decode bound checks guard.
+MAX_OPS = 1 << 20
+MAX_DELETE_COUNT = 1 << 20
+MAX_SITES = 1 << 20
+MAX_BLOB = 1 << 28
+U32_MAX = (1 << 32) - 1
+U64_MAX = (1 << 64) - 1
+
+
 def uvarint(v: int) -> bytes:
     out = bytearray()
     while v >= 0x80:
@@ -153,11 +165,20 @@ SEEDS = {
         "string_abc": string(b"abc"),
         "string_empty": string(b""),
         "mixed": uvarint(0) + uvarint(300) + string(b"xy") + uvarint(7),
+        # Schema boundaries: the u32/u64 edges every bounded field
+        # shares, plus the 10-byte overflow the decoder must reject.
+        "u32_edge": uvarint(U32_MAX) + uvarint(U32_MAX + 1),
+        "u64_edge": uvarint(U64_MAX),
+        "overflow_10th_byte": bytes([0xFF] * 9 + [0x02]),
     },
     "compressed_sv": {
         "origin": csv_stamp(0, 0),
         "fig3_like": csv_stamp(5, 3),
         "large": csv_stamp(300, (1 << 32) + 7),
+        # Schema boundaries: T[1]/T[2] are kUvarint64 fields bounded at
+        # u64 max — the widest legal stamp and its truncation.
+        "bound_components": csv_stamp(U64_MAX, U64_MAX),
+        "bound_truncated": csv_stamp(U64_MAX, U64_MAX)[:-1],
     },
     "message": {
         "client_insert_csv": client_msg(
@@ -179,6 +200,17 @@ SEEDS = {
             1, 1, vv_stamp([0, 2, 0, 1]), op_list(prim_identity(1))
         ),
         "leave": leave_msg(5),
+        # Schema boundaries: op-count and delete-count claims at and
+        # just past the declared bounds (kMaxOps / kMaxDeleteCount).
+        "op_count_bound_claim": client_msg(
+            2, 1, csv_stamp(0, 1), uvarint(MAX_OPS)
+        ),
+        "op_count_over_claim": client_msg(
+            2, 1, csv_stamp(0, 1), uvarint(MAX_OPS + 1)
+        ),
+        "delete_count_bound": client_msg(
+            3, 1, csv_stamp(0, 1), op_list(prim_delete(3, 0, MAX_DELETE_COUNT))
+        ),
     },
     "frame": {
         "data_first": data_frame(1, 0, b""),
@@ -192,6 +224,10 @@ SEEDS = {
         "ack_large": ack_frame(123456789),
         "bad_crc": data_frame(1, 0, b"ok")[:-1]
         + bytes([data_frame(1, 0, b"ok")[-1] ^ 0xFF]),
+        # Schema boundaries: seq/ack are kUvarint64 fields — pin the
+        # widest legal values with a valid trailing CRC.
+        "data_u64_seq": data_frame(U64_MAX, U64_MAX - 1, b""),
+        "ack_u64": ack_frame(U64_MAX),
     },
     "checkpoint": {
         "minimal_2site": notifier_bundle(
@@ -226,6 +262,12 @@ SEEDS = {
         )[1:],
         "hostile_num_sites": bytes([0xD4]) + uvarint((1 << 32))
         + string(notifier_state(1, b"")) + link_state(),
+        # Schema boundaries: membership and blob-length claims at the
+        # declared bound edges (kMaxSites / kMaxBlob).
+        "num_sites_bound_claim": bytes([0xD4]) + uvarint(MAX_SITES),
+        "num_sites_over_claim": bytes([0xD4]) + uvarint(MAX_SITES + 1),
+        "blob_over_claim": bytes([0xD4]) + uvarint(1)
+        + uvarint(MAX_BLOB + 1),
     },
 }
 
