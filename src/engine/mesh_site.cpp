@@ -42,7 +42,9 @@ net::Payload encode(const MeshMsg& msg, MeshStamp mode) {
 
 MeshMsg decode_mesh_msg(const net::Payload& bytes, MeshStamp mode) {
   util::ByteSource src(bytes);
-  CCVC_CHECK_MSG(src.get_u8() == kTagMesh, "not a mesh message");
+  if (src.get_u8() != kTagMesh) {
+    throw util::DecodeError("not a mesh message");
+  }
   wire::Reader r(src);
   MeshMsg msg;
   msg.id.site = r.uv32(wire::f::kOpIdSite);
@@ -56,7 +58,9 @@ MeshMsg decode_mesh_msg(const net::Payload& bytes, MeshStamp mode) {
       break;
   }
   msg.ops = ot::decode_op_list(src);
-  CCVC_CHECK_MSG(src.exhausted(), "trailing bytes in mesh message");
+  if (!src.exhausted()) {
+    throw util::DecodeError("trailing bytes in mesh message");
+  }
   return msg;
 }
 

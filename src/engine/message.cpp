@@ -106,7 +106,9 @@ net::Payload encode(const CenterMsg& msg, StampMode mode) {
 
 ClientMsg decode_client_msg(const net::Payload& bytes, StampMode mode) {
   util::ByteSource src(bytes);
-  CCVC_CHECK_MSG(src.get_u8() == kTagClient, "not a client message");
+  if (src.get_u8() != kTagClient) {
+    throw util::DecodeError("not a client message");
+  }
   ClientMsg msg;
   msg.id = decode_id(src);
   msg.stamp = decode_stamp(src, mode);
@@ -114,20 +116,26 @@ ClientMsg decode_client_msg(const net::Payload& bytes, StampMode mode) {
   ot::OpList wire_ops = ot::decode_op_list(src);
   check_decompose_budget(wire_ops);
   msg.ops = ot::decompose(wire_ops);
-  CCVC_CHECK_MSG(src.exhausted(), "trailing bytes in client message");
+  if (!src.exhausted()) {
+    throw util::DecodeError("trailing bytes in client message");
+  }
   return msg;
 }
 
 CenterMsg decode_center_msg(const net::Payload& bytes, StampMode mode) {
   util::ByteSource src(bytes);
-  CCVC_CHECK_MSG(src.get_u8() == kTagCenter, "not a center message");
+  if (src.get_u8() != kTagCenter) {
+    throw util::DecodeError("not a center message");
+  }
   CenterMsg msg;
   msg.id = decode_id(src);
   msg.stamp = decode_stamp(src, mode);
   ot::OpList wire_ops = ot::decode_op_list(src);
   check_decompose_budget(wire_ops);
   msg.ops = ot::decompose(wire_ops);
-  CCVC_CHECK_MSG(src.exhausted(), "trailing bytes in center message");
+  if (!src.exhausted()) {
+    throw util::DecodeError("trailing bytes in center message");
+  }
   return msg;
 }
 
@@ -145,9 +153,13 @@ bool is_leave_msg(const net::Payload& bytes) {
 
 SiteId decode_leave(const net::Payload& bytes) {
   util::ByteSource src(bytes);
-  CCVC_CHECK_MSG(src.get_u8() == kTagLeave, "not a leave message");
+  if (src.get_u8() != kTagLeave) {
+    throw util::DecodeError("not a leave message");
+  }
   const SiteId site = wire::Reader(src).uv32(wire::f::kLeaveSite);
-  CCVC_CHECK_MSG(src.exhausted(), "trailing bytes in leave message");
+  if (!src.exhausted()) {
+    throw util::DecodeError("trailing bytes in leave message");
+  }
   return site;
 }
 

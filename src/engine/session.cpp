@@ -165,7 +165,9 @@ StarSession::StarSession(const StarSessionConfig& cfg,
       net_(queue_, rng_.fork()),
       observer_(observer) {
   util::ByteSource src(checkpoint);
-  CCVC_CHECK_MSG(src.get_u8() == kTagSessionCkpt, "not a session checkpoint");
+  if (src.get_u8() != kTagSessionCkpt) {
+    throw util::DecodeError("not a session checkpoint");
+  }
   wire::Reader r(src);
   cfg_.num_sites = static_cast<std::size_t>(r.uv(wire::f::kSessionNumSites));
 
@@ -179,8 +181,9 @@ StarSession::StarSession(const StarSessionConfig& cfg,
   notifier_ = std::make_unique<NotifierSite>(
       load_notifier_checkpoint(r.blob(wire::f::kSessionNotifierBlob)),
       cfg_.engine, center_send_fn(), observer);
-  CCVC_CHECK_MSG(notifier_->num_sites() == cfg_.num_sites,
-                 "checkpoint membership mismatch");
+  if (notifier_->num_sites() != cfg_.num_sites) {
+    throw util::DecodeError("checkpoint membership mismatch");
+  }
 
   clients_.resize(cfg_.num_sites + 1);
   client_links_.resize(cfg_.num_sites + 1);
@@ -197,7 +200,9 @@ StarSession::StarSession(const StarSessionConfig& cfg,
       make_notifier_link(i, nullptr);
     }
   }
-  CCVC_CHECK_MSG(src.exhausted(), "trailing bytes in session checkpoint");
+  if (!src.exhausted()) {
+    throw util::DecodeError("trailing bytes in session checkpoint");
+  }
 
   for (SiteId i = 1; i <= cfg_.num_sites; ++i) wire_channels(i);
 

@@ -29,10 +29,7 @@ void put_prim(util::ByteSink& sink, const ot::PrimOp& op) {
 ot::PrimOp get_prim(util::ByteSource& src) {
   wire::Reader r(src);
   ot::PrimOp op;
-  const auto kind = src.get_u8();
-  CCVC_CHECK_MSG(kind <= wire::f::kCkptOpKind.bound,
-                 "corrupt checkpoint: bad op kind");
-  op.kind = static_cast<ot::OpKind>(kind);
+  op.kind = static_cast<ot::OpKind>(r.u8(wire::f::kCkptOpKind));
   op.pos = static_cast<std::size_t>(r.uv(wire::f::kCkptOpPos));
   op.count = static_cast<std::size_t>(r.uv(wire::f::kCkptOpCount));
   op.origin = r.uv32(wire::f::kCkptOpOrigin);
@@ -105,7 +102,9 @@ net::Payload save_checkpoint(const ClientSite& site) {
 
 ClientSite::State load_client_checkpoint(const net::Payload& bytes) {
   util::ByteSource src(bytes);
-  CCVC_CHECK_MSG(src.get_u8() == kTagClientCkpt, "not a client checkpoint");
+  if (src.get_u8() != kTagClientCkpt) {
+    throw util::DecodeError("not a client checkpoint");
+  }
   wire::Reader r(src);
   ClientSite::State s;
   s.id = r.uv32(wire::f::kCkptId);
@@ -137,7 +136,9 @@ ClientSite::State load_client_checkpoint(const net::Payload& bytes) {
   s.departed = r.u8(wire::f::kCkptDeparted) != 0;
   const std::uint64_t u_n = r.count(wire::f::kCkptUndone);
   for (std::uint64_t i = 0; i < u_n; ++i) s.undone.push_back(get_id(src));
-  CCVC_CHECK_MSG(src.exhausted(), "trailing bytes in client checkpoint");
+  if (!src.exhausted()) {
+    throw util::DecodeError("trailing bytes in client checkpoint");
+  }
   return s;
 }
 
@@ -181,8 +182,9 @@ net::Payload encode_notifier_state(const NotifierSite::State& s) {
 
 NotifierSite::State load_notifier_checkpoint(const net::Payload& bytes) {
   util::ByteSource src(bytes);
-  CCVC_CHECK_MSG(src.get_u8() == kTagNotifierCkpt,
-                 "not a notifier checkpoint");
+  if (src.get_u8() != kTagNotifierCkpt) {
+    throw util::DecodeError("not a notifier checkpoint");
+  }
   wire::Reader r(src);
   NotifierSite::State s;
   s.num_sites = static_cast<std::size_t>(r.uv(wire::f::kNotifNumSites));
@@ -225,7 +227,9 @@ NotifierSite::State load_notifier_checkpoint(const net::Payload& bytes) {
     s.active.push_back(r.u8(wire::f::kActiveFlagBit) != 0);
   }
   s.hb_collected = r.uv(wire::f::kNotifHbCollected);
-  CCVC_CHECK_MSG(src.exhausted(), "trailing bytes in notifier checkpoint");
+  if (!src.exhausted()) {
+    throw util::DecodeError("trailing bytes in notifier checkpoint");
+  }
   return s;
 }
 

@@ -55,13 +55,9 @@ void PrimOp::encode(util::ByteSink& sink) const {
 PrimOp PrimOp::decode(util::ByteSource& src) {
   wire::Reader r(src);
   PrimOp op;
-  // The kind byte stays a protocol contract (ContractViolation, pinned
-  // by tests) rather than the engine's DecodeError; the legal range
-  // still comes from the schema.
-  const auto kind_byte = src.get_u8();
-  CCVC_CHECK_MSG(kind_byte <= wire::f::kWireOpKind.bound,
-                 "bad op kind on the wire");
-  op.kind = static_cast<OpKind>(kind_byte);
+  // A bad kind byte is hostile input, not a caller bug: the schema-
+  // bounded Reader read raises DecodeError like every other wire field.
+  op.kind = static_cast<OpKind>(r.u8(wire::f::kWireOpKind));
   op.origin = r.uv32(wire::f::kWireOpOrigin);
   switch (op.kind) {
     case OpKind::kInsert:

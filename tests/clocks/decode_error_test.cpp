@@ -1,5 +1,6 @@
 // Error paths of the wire codecs: truncated, corrupted, and hostile
-// inputs must be rejected with DecodeError / ContractViolation — never
+// inputs must be rejected with DecodeError (the exception-discipline
+// gate in tools/ccvc_sa pins decode paths to that one type) — never
 // read out of bounds (the asan-ubsan preset verifies the "never") and
 // never silently mis-decode.
 #include <gtest/gtest.h>
@@ -67,12 +68,12 @@ TEST(MessageDecode, WrongTagThrows) {
       engine::encode(sample_client_msg(), engine::StampMode::kCompressed);
   EXPECT_THROW(engine::decode_center_msg(payload,
                                          engine::StampMode::kCompressed),
-               ContractViolation);
+               DecodeError);
 }
 
 TEST(MessageDecode, EveryTruncationThrowsCleanly) {
   // Chop the valid encoding at every length; each prefix must throw
-  // (DecodeError or ContractViolation), never crash or mis-decode.
+  // DecodeError, never crash or mis-decode.
   const auto payload =
       engine::encode(sample_client_msg(), engine::StampMode::kCompressed);
   for (std::size_t len = 0; len < payload.size(); ++len) {
@@ -91,7 +92,7 @@ TEST(MessageDecode, TrailingBytesThrow) {
   payload.push_back(0x00);
   EXPECT_THROW(engine::decode_client_msg(payload,
                                          engine::StampMode::kCompressed),
-               ContractViolation);
+               DecodeError);
 }
 
 TEST(MessageDecode, SiteIdOverflowThrows) {
@@ -157,7 +158,7 @@ TEST(MessageDecode, CorruptedOpKindThrows) {
   payload[6] = 0xEE;
   EXPECT_THROW(engine::decode_client_msg(payload,
                                          engine::StampMode::kCompressed),
-               ContractViolation);
+               DecodeError);
 }
 
 TEST(MessageDecode, WrongStampModeIsDetectedOrRejected) {

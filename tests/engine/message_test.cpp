@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "util/check.hpp"
+#include "util/varint.hpp"
 
 namespace ccvc::engine {
 namespace {
@@ -48,7 +49,7 @@ TEST(Message, WrongTagRejected) {
   msg.ops = ot::make_identity(1);
   const net::Payload bytes = encode(msg, StampMode::kCompressed);
   EXPECT_THROW(decode_center_msg(bytes, StampMode::kCompressed),
-               ContractViolation);
+               util::DecodeError);
 }
 
 TEST(Message, TrailingGarbageRejected) {
@@ -58,7 +59,7 @@ TEST(Message, TrailingGarbageRejected) {
   net::Payload bytes = encode(msg, StampMode::kCompressed);
   bytes.push_back(0xFF);
   EXPECT_THROW(decode_client_msg(bytes, StampMode::kCompressed),
-               ContractViolation);
+               util::DecodeError);
 }
 
 TEST(Message, CompressedStampIsConstantSizeInN) {

@@ -8,6 +8,7 @@
 #include "engine/session.hpp"
 #include "engine/snapshot.hpp"
 #include "sim/workload.hpp"
+#include "util/varint.hpp"
 
 namespace ccvc::engine {
 namespace {
@@ -230,7 +231,7 @@ TEST(Snapshot, CorruptCheckpointRejected) {
   StarSession session(cfg);
   net::Payload bytes = save_checkpoint(session.notifier());
   bytes[0] ^= 0xFF;
-  EXPECT_THROW(load_notifier_checkpoint(bytes), ContractViolation);
+  EXPECT_THROW(load_notifier_checkpoint(bytes), util::DecodeError);
   net::Payload truncated(bytes.begin(), bytes.begin() + 5);
   truncated[0] ^= 0xFF;  // restore the tag
   EXPECT_ANY_THROW(load_notifier_checkpoint(truncated));

@@ -1,0 +1,6 @@
+// Fixture: bare assert() in library code.  Expected: bare-assert x1.
+#include <cassert>
+
+void bad_assert_fixture(int x) {
+  assert(x > 0);
+}

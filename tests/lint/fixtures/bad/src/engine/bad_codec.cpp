@@ -1,0 +1,5 @@
+// Fixture: raw varint primitive called outside src/wire/ and src/util/.
+// Expected: hand-rolled-codec x1.  (Never compiled; text-level fixture.)
+void bad_codec_fixture() {
+  put_uvarint(nullptr, 42ULL);
+}

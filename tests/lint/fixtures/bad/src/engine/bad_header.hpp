@@ -1,0 +1,5 @@
+// Fixture: header that is not self-sufficient (std::vector without
+// <vector>).  Expected: include-hygiene x1.
+#pragma once
+
+inline std::vector<int> bad_header_fixture() { return {}; }

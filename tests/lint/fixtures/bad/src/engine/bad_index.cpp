@@ -1,0 +1,9 @@
+// Fixture: 0-based index on a stamp-like receiver.  The paper's state
+// vectors are 1-based (at(1)/at(2)).  Expected: paper-index x1.
+struct FixtureStamp {
+  int at(int) const { return 0; }
+};
+
+int bad_index_fixture(const FixtureStamp& stamp) {
+  return stamp.at(0);
+}

@@ -1,0 +1,6 @@
+// Fixture: a metric name missing from the instrument catalog (the
+// catalog fixture in docs/OBSERVABILITY.md also lists one name with no
+// call site).  Expected: metric-name x2 across the pair.
+void bad_metric_fixture() {
+  CCVC_METRIC_COUNT("engine.fixture.unlisted", 1);
+}

@@ -1,0 +1,6 @@
+// Fixture: a .cpp whose first quoted include is not its own header.
+// Expected: self-include-first x1.
+#include "engine/other_header.hpp"
+#include "engine/bad_order.hpp"
+
+void bad_order_fixture() {}

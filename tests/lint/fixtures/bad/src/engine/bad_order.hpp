@@ -1,0 +1,4 @@
+// Fixture twin header for bad_order.cpp (clean by itself).
+#pragma once
+
+void bad_order_fixture();

@@ -1,0 +1,6 @@
+// Fixture: library code printing.  Expected: iostream-library x1.
+#include <iostream>
+
+void bad_print_fixture() {
+  std::cout << "hello from the library layer";
+}

@@ -1,0 +1,10 @@
+// Fixture: every nondeterministic entropy source the determinism rule
+// must catch, one per line.  Expected: determinism x3.
+#include <cstdlib>
+#include <random>
+
+int bad_random_fixture() {
+  std::random_device rd;
+  std::mt19937 gen;
+  return static_cast<int>(rd() + gen()) + rand();
+}

@@ -1,0 +1,12 @@
+// Fixture: engine code calling Channel::send directly, bypassing the
+// reliability sublayer.  Expected: raw-channel-send x1.
+struct FixtureChannel {
+  void send(int);
+};
+struct FixtureNet {
+  FixtureChannel& channel(int, int);
+};
+
+void bad_send_fixture(FixtureNet& net_) {
+  net_.channel(1, 2).send(7);
+}

@@ -1,0 +1,6 @@
+// Fixture: the one-line allow pragma must suppress a finding.
+#include <cstdlib>
+
+int good_allow_fixture() {
+  return rand();  // ccvc-lint: allow(determinism) fixture: pragma suppression
+}

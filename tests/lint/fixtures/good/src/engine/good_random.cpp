@@ -1,0 +1,9 @@
+// Fixture: explicitly seeded std::mt19937 — the determinism rule must
+// not fire on an engine constructed from a seed expression.
+#include <random>
+
+unsigned good_random_fixture(unsigned seed) {
+  std::mt19937 gen(seed);
+  std::mt19937_64 wide{seed};
+  return static_cast<unsigned>(gen() ^ wide());
+}

@@ -1,0 +1,8 @@
+// Fixture standing in for the real seeded-RNG home (src/util/rng.*),
+// the determinism rule's only carve-out: entropy plumbing is allowed
+// to name the raw engines here and nowhere else.
+#pragma once
+
+#include <random>
+
+inline std::mt19937 rng_fixture_engine;

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Per-rule regression tests for tools/ccvc_lint.py.
+
+Two fixture trees under tests/lint/fixtures/ are staged into temporary
+roots and linted:
+
+  bad/   seeds exactly one violation per rule (three for determinism —
+         one per entropy source) and must produce exactly the expected
+         finding multiset, nothing more, nothing less.
+  good/  near-miss patterns the rules must NOT flag: a seeded
+         std::mt19937, an allow() pragma, and the src/util/rng.*
+         carve-out.  Must lint clean (exit 0).
+
+Coverage is enforced structurally: the expected-findings table below is
+compared against ccvc_lint.RULES, so adding a rule without a fixture —
+or retiring one without pruning its fixture — fails this test.
+
+Exit status: 0 all cases pass, 1 any mismatch, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+FINDING_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): \[(?P<rule>[a-z\-]+)\] ")
+
+# rule -> finding count the bad/ tree must yield.
+EXPECTED_BAD = {
+    "bare-assert": 1,
+    "iostream-library": 1,
+    "paper-index": 1,
+    "self-include-first": 1,
+    "include-hygiene": 1,
+    "raw-channel-send": 1,
+    "metric-name": 2,
+    "doc-xref": 1,
+    "hand-rolled-codec": 1,
+    "determinism": 3,
+    "schema-doc-table": 1,
+}
+
+
+def load_rules(lint_py: pathlib.Path) -> tuple[str, ...]:
+    spec = importlib.util.spec_from_file_location("ccvc_lint", lint_py)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod.RULES
+
+
+def run_lint(py: str, lint_py: pathlib.Path, root: pathlib.Path,
+             compiler: str, compile_headers: bool) -> tuple[int, str]:
+    cmd = [py, str(lint_py), "--root", str(root), "--compiler", compiler]
+    if not compile_headers:
+        cmd.append("--no-compile")
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def count_rules(output: str) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for line in output.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            counts[m.group("rule")] = counts.get(m.group("rule"), 0) + 1
+    return counts
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=pathlib.Path, required=True,
+                    help="repo root (location of tools/ccvc_lint.py)")
+    ap.add_argument("--compiler", default="c++",
+                    help="C++ compiler for the include-hygiene case")
+    args = ap.parse_args()
+    root = args.root.resolve()
+    lint_py = root / "tools" / "ccvc_lint.py"
+    fixtures = root / "tests" / "lint" / "fixtures"
+    if not lint_py.exists() or not fixtures.is_dir():
+        print(f"lint_selftest: missing {lint_py} or {fixtures}",
+              file=sys.stderr)
+        return 2
+
+    rules = load_rules(lint_py)
+    failures: list[str] = []
+    if set(EXPECTED_BAD) != set(rules):
+        missing = set(rules) - set(EXPECTED_BAD)
+        stale = set(EXPECTED_BAD) - set(rules)
+        failures.append(
+            f"fixture coverage drifted from ccvc_lint.RULES: "
+            f"uncovered={sorted(missing)} stale={sorted(stale)}")
+
+    with tempfile.TemporaryDirectory(prefix="ccvc_lint_selftest_") as td:
+        # --- bad tree: exactly the expected finding multiset ---------
+        bad_root = pathlib.Path(td) / "bad"
+        shutil.copytree(fixtures / "bad", bad_root)
+        code, out = run_lint(sys.executable, lint_py, bad_root,
+                             args.compiler, compile_headers=True)
+        got = count_rules(out)
+        if code != 1:
+            failures.append(f"bad tree: want exit 1, got {code}\n{out}")
+        for rule in sorted(set(EXPECTED_BAD) | set(got)):
+            want, have = EXPECTED_BAD.get(rule, 0), got.get(rule, 0)
+            if want != have:
+                failures.append(
+                    f"bad tree: rule '{rule}' want {want} finding(s), "
+                    f"got {have}")
+        if any(f.startswith("bad tree:") for f in failures):
+            failures.append(f"bad tree output was:\n{out}")
+
+        # --- good tree: near-misses and suppressions stay clean ------
+        good_root = pathlib.Path(td) / "good"
+        shutil.copytree(fixtures / "good", good_root)
+        code, out = run_lint(sys.executable, lint_py, good_root,
+                             args.compiler, compile_headers=False)
+        if code != 0 or count_rules(out):
+            failures.append(f"good tree: want exit 0 with no findings, "
+                            f"got exit {code}\n{out}")
+
+    if failures:
+        for f in failures:
+            print(f"lint_selftest: FAIL: {f}")
+        return 1
+    print(f"lint_selftest: OK ({len(rules)} rules, "
+          f"{sum(EXPECTED_BAD.values())} seeded findings rejected, "
+          "good tree clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -119,7 +119,7 @@ TEST(TextOp, DecodeRejectsBadKind) {
   sink.put_u8(0x7f);     // bogus kind
   sink.put_uvarint(0);   // origin
   util::ByteSource src(sink.bytes());
-  EXPECT_THROW(decode_op_list(src), ContractViolation);
+  EXPECT_THROW(decode_op_list(src), util::DecodeError);
 }
 
 TEST(TextOp, StringRendering) {

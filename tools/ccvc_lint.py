@@ -64,6 +64,16 @@ Enforces invariants generic tools cannot express:
                      FieldDesc so every field stays declared, bounded,
                      and fuzz-dictionary-covered.
 
+  determinism        Simulation results must replay bit-identically
+                     from cfg.seed alone, so src/ must not draw
+                     entropy from outside the seeded util::Rng
+                     (src/util/rng.*): no rand()/srand(), no
+                     std::random_device, no default-constructed
+                     (unseeded) std::mt19937.  A single stray
+                     nondeterministic draw silently breaks replay
+                     debugging and the bench suite's run-to-run
+                     comparability.
+
   schema-doc-table   The generated table in docs/PROTOCOL.md §2.0
                      (between the ccvc_schema:doc-table markers) must
                      match a re-derivation from docs/schema.json.  The
@@ -99,6 +109,7 @@ RULES = (
     "metric-name",
     "doc-xref",
     "hand-rolled-codec",
+    "determinism",
     "schema-doc-table",
 )
 
@@ -150,6 +161,16 @@ METRIC_NAME_RE = re.compile(r"[a-z0-9_]+(?:\.[a-z0-9_]+)+")
 HAND_ROLLED_CODEC_RE = re.compile(
     r"\b(?:put_uvarint|put_svarint|put_string|"
     r"get_uvarint32|get_uvarint|get_svarint|get_string)\s*\("
+)
+# Nondeterministic entropy sources: C rand()/srand(), std::random_device,
+# and a default-constructed (hence default-seeded-by-convention or
+# random_device-tempting) std::mt19937.  `std::mt19937 gen(seed)` — an
+# explicit seed expression — deliberately does not match.
+DETERMINISM_RE = re.compile(
+    r"(?<![A-Za-z0-9_])s?rand\s*\("
+    r"|std::random_device\b"
+    r"|std::mt19937(?:_64)?\s+\w+\s*(?:;|\{\s*\})"
+    r"|std::mt19937(?:_64)?\s*(?:\(\s*\)|\{\s*\})"
 )
 DOC_TABLE_BEGIN = "<!-- ccvc_schema:doc-table:begin -->"
 DOC_TABLE_END = "<!-- ccvc_schema:doc-table:end -->"
@@ -249,6 +270,14 @@ class Linter:
                                 "raw varint/string codec call outside "
                                 "src/wire/ — encode through wire::Writer/"
                                 "wire::Reader against a schema FieldDesc")
+
+            if (not rel.startswith("src/util/rng.")
+                    and DETERMINISM_RE.search(line)):
+                if "determinism" not in allowed:
+                    self.report(path, lineno, "determinism",
+                                "nondeterministic entropy source — draw "
+                                "from the seeded util::Rng (src/util/"
+                                "rng.hpp) so runs replay from cfg.seed")
 
             if rel.startswith("src/engine/") and RAW_CHANNEL_SEND_RE.search(line):
                 if "raw-channel-send" not in allowed:

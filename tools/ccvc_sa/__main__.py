@@ -1,0 +1,85 @@
+"""ccvc_sa — cross-TU static analysis gate for the CCVC tree.
+
+Usage:
+  python3 tools/ccvc_sa --check [--root DIR] [--checker NAME]
+  python3 tools/ccvc_sa --emit-concurrency [--root DIR]
+  python3 tools/ccvc_sa --list
+
+Exit codes (matching ccvc_lint): 0 clean, 1 findings or dead
+suppressions, 2 usage/configuration error.
+
+Checkers register via @sa_engine.checker at import time; adding one is
+a new module plus one import below (recipe in docs/ANALYSIS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import sa_engine                                   # noqa: E402
+import sa_schema                                   # noqa: E402
+from sa_model import build_model                   # noqa: E402
+import check_wire_taint                            # noqa: E402,F401
+import check_exceptions                            # noqa: E402,F401
+import check_shared_state                          # noqa: E402,F401
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(prog="ccvc_sa", add_help=True)
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: two levels up from here)")
+    ap.add_argument("--check", action="store_true",
+                    help="run all checkers against the baseline")
+    ap.add_argument("--checker", default=None,
+                    help="restrict --check to one checker (no dead-"
+                         "suppression validation in this mode)")
+    ap.add_argument("--emit-concurrency", action="store_true",
+                    help="print the shared-state inventory markdown")
+    ap.add_argument("--list", action="store_true",
+                    help="list registered checkers")
+    args = ap.parse_args(argv)
+
+    if args.list:
+        for name, fn in sa_engine.CHECKERS:
+            doc = (fn.__doc__ or "").strip().splitlines()
+            print(f"{name}: {doc[0] if doc else ''}")
+        return 0
+
+    root = pathlib.Path(args.root) if args.root else \
+        pathlib.Path(__file__).resolve().parents[2]
+    if not (root / "src").is_dir():
+        print(f"ccvc_sa: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    model = build_model(root)
+    xref = sa_schema.load_xref(root)
+    ctx = sa_engine.Context(root=root, xref=xref)
+
+    if args.emit_concurrency:
+        sys.stdout.write(check_shared_state.emit_concurrency(model))
+        return 0
+
+    if not args.check:
+        ap.print_help()
+        return 2
+
+    baseline = pathlib.Path(__file__).resolve().parent / "baseline.txt"
+    res = sa_engine.run(model, ctx, baseline, only=args.checker)
+    for f in res.findings:
+        print(f.render())
+    for e in res.errors:
+        print(f"error: {e}")
+    n_checkers = len([1 for n, _ in sa_engine.CHECKERS
+                      if not args.checker or n == args.checker])
+    print(f"ccvc_sa: {len(model.funcs)} functions, {n_checkers} checkers, "
+          f"{len(res.findings)} finding(s), {len(res.suppressed)} "
+          f"suppressed, {len(res.errors)} error(s)")
+    return 0 if res.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,136 @@
+"""exception-discipline — decode throws DecodeError, encode throws
+ContractViolation, and neither may be silently swallowed.
+
+Classification is lexical, per function:
+
+  decode path   touches the read side: a ByteSource/Reader parameter,
+                a local `wire::Reader`, or raw `get_*` calls;
+  encode path   touches only the write side (ByteSink/Writer/`put_*`).
+
+A function on the decode path must not raise ContractViolation —
+hostile bytes are an input condition, not a programming error, so
+CCVC_CHECK/CCVC_CHECK_MSG and explicit `throw ContractViolation` are
+findings there (CCVC_DCHECK is exempt: debug-only invariants compile
+out and never classify input).  Mixed read+write functions (roundtrip
+helpers, the selftest harness) are skipped — they legitimately see
+both.
+
+catch-swallow: a handler for DecodeError/ContractViolation/
+std::exception/`...` whose block neither rethrows, nor calls a
+[[noreturn]] function, nor aborts, silently eats the very signal the
+other two rules guarantee — each deliberate drop point (e.g. the
+corruption-drop in ReliableLink) must be baselined, where it is
+live-checked forever.
+"""
+
+from __future__ import annotations
+
+from sa_engine import Context, Finding, checker
+from sa_model import Func, Model, Tok, _match_paren
+
+RAW_READS = {"get_u8", "get_uvarint", "get_uvarint32", "get_svarint",
+             "get_string"}
+RAW_WRITES = {"put_u8", "put_uvarint", "put_svarint", "put_string",
+              "put_raw"}
+SWALLOWABLE = {"DecodeError", "ContractViolation", "exception"}
+TERMINATORS = {"abort", "exit", "terminate", "_Exit", "quick_exit"}
+
+
+def _calls_with_next_paren(body: list[Tok]) -> set[str]:
+    return {t.text for k, t in enumerate(body)
+            if t.kind == "id" and k + 1 < len(body)
+            and body[k + 1].text == "("}
+
+
+def _classify(fn: Func, calls: set[str]) -> tuple[bool, bool]:
+    reads = ("ByteSource" in fn.sig or "Reader" in fn.sig
+             or bool(calls & RAW_READS)
+             or any(t.text == "Reader" for t in fn.body))
+    writes = ("ByteSink" in fn.sig or "Writer" in fn.sig
+              or bool(calls & RAW_WRITES)
+              or any(t.text in ("Writer", "ByteSink") for t in fn.body))
+    return reads, writes
+
+
+def _throw_sites(body: list[Tok]):
+    """Yield (exception-or-macro name, line) for each raise site."""
+    for k, t in enumerate(body):
+        if t.text == "throw" and k + 1 < len(body) \
+                and body[k + 1].kind == "id":
+            # `throw util::DecodeError(...)` — take the last id before `(`.
+            j = k + 1
+            name = body[j].text
+            while j + 2 < len(body) and body[j + 1].text == "::":
+                j += 2
+                name = body[j].text
+            yield name, t.line
+        if t.text in ("CCVC_CHECK", "CCVC_CHECK_MSG") and k + 1 < len(body) \
+                and body[k + 1].text == "(":
+            yield t.text, t.line
+
+
+def _catch_blocks(body: list[Tok]):
+    """Yield (handler type name or '...', block tokens, line)."""
+    i, n = 0, len(body)
+    while i < n:
+        if body[i].text == "catch" and i + 1 < n and body[i + 1].text == "(":
+            clause_end = _match_paren(body, i + 1, "(", ")")
+            clause = body[i + 2:clause_end - 1]
+            names = [t.text for t in clause if t.kind == "id"]
+            kind = "..." if any(t.text == "..." for t in clause) else (
+                names[-2] if names and names[-1] not in SWALLOWABLE
+                and len(names) >= 2 else (names[-1] if names else "?"))
+            # Handler name convention `catch (const DecodeError& e)`:
+            # the exception type is the id right before `&`/name.
+            for t in clause:
+                if t.kind == "id" and t.text in SWALLOWABLE:
+                    kind = t.text
+                    break
+            j = clause_end
+            if j < n and body[j].text == "{":
+                block_end = _match_paren(body, j, "{", "}")
+                yield kind, body[j + 1:block_end - 1], body[i].line
+                i = block_end
+                continue
+        i += 1
+
+
+@checker("exception-discipline")
+def check_exceptions(model: Model, ctx: Context) -> list[Finding]:
+    findings: list[Finding] = []
+    for fn in model.funcs:
+        calls = _calls_with_next_paren(fn.body)
+        reads, writes = _classify(fn, calls)
+        if reads and not writes:
+            for name, line in _throw_sites(fn.body):
+                if name in ("ContractViolation", "CCVC_CHECK",
+                            "CCVC_CHECK_MSG"):
+                    findings.append(Finding(
+                        "exception-discipline", fn.file, line,
+                        f"decode-throw:{fn.qual}:{name}",
+                        f"decode path {fn.qual}() raises ContractViolation "
+                        f"(via {name}) — malformed input must be "
+                        f"DecodeError"))
+        elif writes and not reads:
+            for name, line in _throw_sites(fn.body):
+                if name == "DecodeError":
+                    findings.append(Finding(
+                        "exception-discipline", fn.file, line,
+                        f"encode-throw:{fn.qual}:{name}",
+                        f"encode path {fn.qual}() raises DecodeError — "
+                        f"encoding our own state can only violate a "
+                        f"contract"))
+        for kind, block, line in _catch_blocks(fn.body):
+            if kind not in SWALLOWABLE and kind != "...":
+                continue
+            block_calls = _calls_with_next_paren(block)
+            rethrows = any(t.text == "throw" for t in block)
+            terminates = bool(block_calls & TERMINATORS
+                              or block_calls & model.noreturn_names)
+            if not rethrows and not terminates:
+                findings.append(Finding(
+                    "exception-discipline", fn.file, line,
+                    f"swallow:{fn.qual}:{kind}",
+                    f"{fn.qual}() catches {kind} and neither rethrows "
+                    f"nor terminates — error signal swallowed"))
+    return findings

@@ -1,0 +1,134 @@
+"""sa_lexer — a lightweight C++ tokenizer for ccvc_sa.
+
+Produces a flat token stream good enough for declaration/function
+extraction and dataflow scanning: identifiers, numbers, punctuation.
+Comments and preprocessor lines are dropped (string/char literals are
+collapsed to single STR/CHR tokens) but line numbers are preserved, and
+`ccvc-sa: allow(<checker>)` suppression pragmas hidden in comments are
+collected per line so checkers can honour them.
+
+This is *not* a parser.  ccvc_sa trades full C++ fidelity for a
+zero-dependency analysis that runs on any image with a Python
+interpreter (this repo's images have no libclang); the self-validation
+corpus (tools/sa_mutation.sh) is what keeps the approximation honest.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+NUM_RE = re.compile(r"(?:0[xX][0-9a-fA-F']+|[0-9][0-9a-fA-F'.xXuUlLeE+-]*)")
+ALLOW_RE = re.compile(r"ccvc-sa:\s*allow\(([a-z0-9\-]+)\)")
+
+# Multi-character operators we keep as single tokens (the dataflow
+# scanner keys on comparison and shift operators).
+PUNCT3 = ("<<=", ">>=", "...", "->*")
+PUNCT2 = ("::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+          "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--")
+
+
+@dataclass(frozen=True)
+class Tok:
+    kind: str  # "id" | "num" | "str" | "chr" | "punct"
+    text: str
+    line: int
+
+
+def lex(text: str) -> tuple[list[Tok], dict[int, set[str]]]:
+    """Tokenize C++ source.  Returns (tokens, allows) where allows maps
+    a line number to the set of checker names suppressed on that line."""
+    toks: list[Tok] = []
+    allows: dict[int, set[str]] = {}
+    i, n, line = 0, len(text), 1
+
+    def note_allows(segment: str, at_line: int) -> None:
+        for m in ALLOW_RE.finditer(segment):
+            allows.setdefault(at_line, set()).add(m.group(1))
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        # Preprocessor line (with \-continuations): dropped whole.  This
+        # also removes macro *definitions*, so macro call sites are the
+        # only thing the model sees — sa_model maps the CCVC_* macros to
+        # the functions their expansions call.
+        if c == "#" and (not toks or toks[-1].line != line):
+            start_line = line
+            while i < n:
+                j = text.find("\n", i)
+                if j == -1:
+                    i = n
+                    break
+                cont = text[i:j].rstrip().endswith("\\")
+                note_allows(text[i:j], line)
+                i = j + 1
+                line += 1
+                if not cont:
+                    break
+            _ = start_line
+            continue
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            note_allows(text[i:j], line)
+            i = j
+            continue
+        if c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            seg = text[i:j]
+            note_allows(seg, line)
+            line += seg.count("\n")
+            i = j + 2
+            continue
+        if c == '"':
+            # Collapse the literal (handles escapes; raw strings are not
+            # used in this tree's sources).
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            toks.append(Tok("str", text[i:j + 1], line))
+            line += text.count("\n", i, j)
+            i = j + 1
+            continue
+        if c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            toks.append(Tok("chr", text[i:j + 1], line))
+            i = j + 1
+            continue
+        m = IDENT_RE.match(text, i)
+        if m:
+            toks.append(Tok("id", m.group(0), line))
+            i = m.end()
+            continue
+        if c.isdigit():
+            m = NUM_RE.match(text, i)
+            toks.append(Tok("num", m.group(0), line))
+            i = m.end()
+            continue
+        for p in PUNCT3:
+            if text.startswith(p, i):
+                toks.append(Tok("punct", p, line))
+                i += 3
+                break
+        else:
+            for p in PUNCT2:
+                if text.startswith(p, i):
+                    toks.append(Tok("punct", p, line))
+                    i += 2
+                    break
+            else:
+                toks.append(Tok("punct", c, line))
+                i += 1
+    return toks, allows

@@ -1,0 +1,112 @@
+#!/usr/bin/env sh
+# Mutation corpus for `ccvc_sa --check`: the analyzer gate must pass on
+# a faithful copy of the tree and FAIL — with exactly the expected
+# finding — when one known-bad pattern per checker class is seeded:
+#
+#   1. unguarded decoded count reaching an allocator   (wire-taint)
+#   2. decode path raising ContractViolation     (exception-discipline)
+#   3. new shared mutable touched by the hot path     (shared-state)
+#   4. dead entry in the suppression baseline       (engine liveness)
+#
+# This is the self-validation the framework's approximations lean on:
+# a lexer or extractor regression that blinds a checker turns up here
+# as "mutation accepted", not as silent lost coverage.
+# Usage: sa_mutation.sh <repo-root> [python3]
+set -eu
+
+ROOT=$1
+PY=${2:-python3}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+stage() {
+  rm -rf "$TMP/src" "$TMP/docs" "$TMP/tools"
+  mkdir -p "$TMP/docs" "$TMP/tools"
+  cp -r "$ROOT/src" "$TMP/src"
+  cp -r "$ROOT/tools/ccvc_sa" "$TMP/tools/ccvc_sa"
+  cp "$ROOT/docs/schema.json" "$TMP/docs/schema.json"
+  cp "$ROOT/docs/CONCURRENCY.md" "$TMP/docs/CONCURRENCY.md"
+}
+
+run_sa() {
+  "$PY" "$TMP/tools/ccvc_sa" --check --root "$TMP" > "$TMP/out.txt" 2>&1 \
+    && status=0 || status=$?
+}
+
+# expect_finding <label> <must-appear-regex>
+expect_finding() {
+  run_sa
+  if [ "$status" -eq 0 ]; then
+    echo "FAIL: gate accepted mutation: $1" >&2
+    cat "$TMP/out.txt" >&2
+    exit 1
+  fi
+  if ! grep -q "$2" "$TMP/out.txt"; then
+    echo "FAIL: mutation $1 failed without the expected finding ($2):" >&2
+    cat "$TMP/out.txt" >&2
+    exit 1
+  fi
+  # Exactly the expected finding: one unsuppressed finding or error,
+  # nothing else dragged in by the seeded pattern.
+  n_findings=$(grep -c '^src/\|^docs/\|^error:' "$TMP/out.txt" || true)
+  if [ "$n_findings" -ne 1 ]; then
+    echo "FAIL: mutation $1 produced $n_findings findings, want exactly 1:" >&2
+    cat "$TMP/out.txt" >&2
+    exit 1
+  fi
+  echo "ok: mutation rejected with its expected finding: $1"
+}
+
+# Control: the faithful copy passes.
+stage
+run_sa
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: gate rejects the clean tree:" >&2
+  cat "$TMP/out.txt" >&2
+  exit 1
+fi
+echo "ok: clean tree passes the gate"
+
+# Mutation 1 (wire-taint): a decoded count drives reserve() unguarded.
+stage
+cat >> "$TMP/src/engine/snapshot.cpp" <<'EOF'
+namespace ccvc::engine {
+void sa_mutation_unguarded(util::ByteSource& src, std::vector<int>& out) {
+  const std::uint64_t n = src.get_uvarint();
+  out.reserve(n);
+}
+}  // namespace ccvc::engine
+EOF
+expect_finding "unguarded decoded count" \
+  "wire-taint.*reserve in.*sa_mutation_unguarded"
+
+# Mutation 2 (exception-discipline): a decode rejection flips to
+# ContractViolation.
+stage
+sed 's/throw util::DecodeError("not a notifier checkpoint bundle")/throw ContractViolation("not a notifier checkpoint bundle")/' \
+  "$TMP/src/engine/snapshot.cpp" > "$TMP/src/engine/snapshot.cpp.new"
+mv "$TMP/src/engine/snapshot.cpp.new" "$TMP/src/engine/snapshot.cpp"
+expect_finding "decode path throwing ContractViolation" \
+  "exception-discipline.*decode_notifier_bundle.*ContractViolation"
+
+# Mutation 3 (shared-state): a new mutable global touched by the hot
+# path, with the committed CONCURRENCY.md left stale.
+stage
+sed 's/void NotifierSite::on_client_message(SiteId from, const net::Payload\& bytes) {/std::uint64_t g_sa_mutation_total = 0;\nvoid NotifierSite::on_client_message(SiteId from, const net::Payload\& bytes) {\n  ++g_sa_mutation_total;/' \
+  "$TMP/src/engine/notifier_site.cpp" > "$TMP/src/engine/notifier_site.cpp.new"
+mv "$TMP/src/engine/notifier_site.cpp.new" "$TMP/src/engine/notifier_site.cpp"
+if ! grep -q g_sa_mutation_total "$TMP/src/engine/notifier_site.cpp"; then
+  echo "FAIL: mutation 3 seed did not apply (on_client_message moved?)" >&2
+  exit 1
+fi
+expect_finding "unlisted shared mutable state" \
+  "shared-state.*drift"
+
+# Mutation 4 (suppression liveness): a baseline entry matching nothing.
+stage
+printf 'wire-taint|src/engine/got.cpp|taint:*bogus*\n' \
+  >> "$TMP/tools/ccvc_sa/baseline.txt"
+expect_finding "dead suppression entry" \
+  "error: dead suppression.*bogus"
+
+echo "sa_mutation: all mutation classes rejected"
