@@ -118,7 +118,81 @@ int main() {
     std::puts("\nshape check: every row converges with an oracle-clean"
               "\nverdict stream; retransmit amplification and time-to-"
               "\nquiescence grow with the drop rate — that growth is the"
-              "\nentire price of correctness under loss.");
+              "\nentire price of correctness under loss.\n");
+  }
+
+  std::puts("== fault recovery: selective repeat (SACK) vs go-back-N ==\n");
+  {
+    util::TextTable t({"drop", "mode", "retransmits", "fast rtx",
+                       "bytes rtx", "sim ms", "converged"});
+    for (const double drop : {0.15, 0.25, 0.35}) {
+      std::uint64_t gbn_bytes = 0;
+      for (const bool gbn : {true, false}) {
+        sim::ChaosConfig cfg;
+        cfg.num_sites = 5;
+        cfg.seed = 99;
+        cfg.workload.ops_per_site = 60;
+        cfg.workload.mean_think_ms = 15.0;
+        cfg.uplink_faults.drop_prob = drop;
+        cfg.downlink_faults.drop_prob = drop;
+        cfg.reliability.go_back_n = gbn;
+        const sim::ChaosReport r = sim::run_chaos(cfg);
+        if (gbn) gbn_bytes = r.links.bytes_retransmitted;
+        std::string bytes = std::to_string(r.links.bytes_retransmitted);
+        if (!gbn && gbn_bytes > 0) {
+          const double saved =
+              100.0 *
+              (1.0 - static_cast<double>(r.links.bytes_retransmitted) /
+                         static_cast<double>(gbn_bytes));
+          bytes += " (-" + util::TextTable::num(saved, 0) + "%)";
+        }
+        t.add_row({util::TextTable::num(100.0 * drop, 0) + "%",
+                   gbn ? "go-back-N" : "SACK",
+                   std::to_string(r.links.retransmits),
+                   std::to_string(r.links.fast_retransmits), bytes,
+                   util::TextTable::num(r.sim_duration_ms, 0),
+                   r.converged ? "yes" : "NO"});
+      }
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\nshape check: at every loss rate the SACK rows retransmit"
+              "\nstrictly fewer bytes than their go-back-N twins — holes"
+              "\nare repaired individually instead of replaying the whole"
+              "\nin-flight window per timeout.\n");
+  }
+
+  std::puts("== fault recovery: hot-standby failover ==\n");
+  {
+    util::TextTable t({"mode", "sim ms", "promotions", "deferred",
+                       "converged"});
+    double base_sim = 0.0;
+    for (const bool failover : {false, true}) {
+      sim::ChaosConfig cfg;
+      cfg.num_sites = 5;
+      cfg.seed = 99;
+      cfg.workload.ops_per_site = 60;
+      cfg.workload.mean_think_ms = 15.0;
+      cfg.uplink_faults.drop_prob = 0.10;
+      cfg.downlink_faults.drop_prob = 0.10;
+      cfg.standby = true;
+      cfg.failover_at_ms = failover ? 300.0 : -1.0;
+      cfg.checkpoint_every_ms = 200.0;
+      const sim::ChaosReport r = sim::run_chaos(cfg);
+      if (!failover) base_sim = r.sim_duration_ms;
+      std::string sim = util::TextTable::num(r.sim_duration_ms, 0);
+      if (failover) {
+        sim += " (+" + util::TextTable::num(r.sim_duration_ms - base_sim, 0) +
+               ")";
+      }
+      t.add_row({failover ? "fail-stop @300ms" : "no failover", sim,
+                 std::to_string(r.failover_promotions),
+                 std::to_string(r.edits_deferred),
+                 r.converged ? "yes" : "NO"});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::puts("\nshape check: losing the primary costs one promotion and a"
+              "\nbounded sim-time stretch — the replicated checkpoint + WAL"
+              "\nmeans no op is ever lost and the session still converges.");
   }
   return 0;
 }

@@ -162,6 +162,72 @@ RepeatResult bench_fault_recovery(bool smoke) {
   return r;
 }
 
+/// Selective repeat vs go-back-N at high loss: identical chaos runs
+/// (same seed, same workload) with SACK on and off.  The dominance
+/// claim — SACK strictly fewer retransmitted bytes at >= 15% loss —
+/// is what docs/FAULTS.md §"Transport" cites.
+RepeatResult bench_sack_vs_gbn(bool smoke) {
+  RepeatResult r;
+  for (const double drop : {0.15, 0.25}) {
+    for (const bool gbn : {true, false}) {
+      sim::ChaosConfig cfg;
+      cfg.num_sites = 4;
+      cfg.uplink_faults.drop_prob = drop;
+      cfg.downlink_faults.drop_prob = drop;
+      cfg.reliability.go_back_n = gbn;
+      cfg.workload.ops_per_site = smoke ? 20 : 60;
+      cfg.workload.mean_think_ms = 25.0;
+      cfg.seed = 1733;
+
+      const auto rep = sim::run_chaos(cfg);
+      char prefix[32];
+      std::snprintf(prefix, sizeof(prefix), "%s.drop%02d.",
+                    gbn ? "gbn" : "sack", static_cast<int>(drop * 100.0));
+      const std::string p = prefix;
+      r.add_u64((p + "bytes_retransmitted").c_str(),
+                rep.links.bytes_retransmitted);
+      r.add_u64((p + "retransmits").c_str(),
+                rep.links.retransmits + rep.links.fast_retransmits);
+      r.add((p + "sim_duration_ms").c_str(), rep.sim_duration_ms);
+      r.add((p + "converged").c_str(), rep.converged ? 1.0 : 0.0);
+    }
+  }
+  return r;
+}
+
+/// Hot-standby failover: the same lossy run with and without a
+/// mid-flight fail-stop + promotion; the sim-time difference is the
+/// user-visible cost of losing the primary.
+RepeatResult bench_failover_recovery(bool smoke) {
+  RepeatResult r;
+  for (const bool failover : {false, true}) {
+    sim::ChaosConfig cfg;
+    cfg.num_sites = 4;
+    cfg.uplink_faults.drop_prob = 0.10;
+    cfg.downlink_faults.drop_prob = 0.10;
+    cfg.standby = true;
+    cfg.failover_at_ms = failover ? 300.0 : -1.0;
+    cfg.checkpoint_every_ms = 200.0;
+    cfg.workload.ops_per_site = smoke ? 20 : 60;
+    cfg.workload.mean_think_ms = 25.0;
+    cfg.seed = 1841;
+
+    const auto rep = sim::run_chaos(cfg);
+    if (!failover) {
+      r.add("baseline.sim_duration_ms", rep.sim_duration_ms);
+      r.add("baseline.converged", rep.converged ? 1.0 : 0.0);
+      continue;
+    }
+    r.add("failover.sim_duration_ms", rep.sim_duration_ms);
+    r.add("failover.outage_ms", rep.failover_outage_ms);
+    r.add_u64("failover.promotions", rep.failover_promotions);
+    r.add_u64("failover.edits_deferred", rep.edits_deferred);
+    r.add_u64("failover.retransmits", rep.links.retransmits);
+    r.add("failover.converged", rep.converged ? 1.0 : 0.0);
+  }
+  return r;
+}
+
 /// E7/E9 — end-to-end WAN session.  tools/bench_report.py compares this
 /// benchmark's wall_ms against a -DCCVC_NO_METRICS build to measure the
 /// instrumentation overhead (budget: ≤2%, docs/OBSERVABILITY.md).
@@ -201,6 +267,8 @@ constexpr Benchmark kBenchmarks[] = {
     {"timestamp_overhead", bench_timestamp_overhead},
     {"notifier_throughput", bench_notifier_throughput},
     {"fault_recovery", bench_fault_recovery},
+    {"sack_vs_gbn", bench_sack_vs_gbn},
+    {"failover_recovery", bench_failover_recovery},
     {"e2e_session", bench_e2e_session},
 };
 

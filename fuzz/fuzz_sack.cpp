@@ -1,0 +1,49 @@
+// Fuzz target: the SACK range codec inside the reliability frame
+// parser — the newest untrusted surface on a faulty channel.
+//
+// Beyond the generic frame round trip (fuzz_frame.cpp), this harness
+// pins the *canonicality* contract of accepted 0xF2 frames: ranges are
+// strictly ascending, non-adjacent, and entirely above the cumulative
+// ack (every wire gap ≥ 2, every run length ≥ 1), because the sender's
+// scoreboard rebuild assumes exactly that shape.  Re-encoding must be a
+// byte-identical fixed point with the sack vector intact.
+#include <cstdint>
+#include <vector>
+
+#include "engine/reliable_link.hpp"
+#include "fuzz_common.hpp"
+#include "util/varint.hpp"
+
+using ccvc::engine::Frame;
+using ccvc::util::DecodeError;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const ccvc::net::Payload bytes(data, data + size);
+  Frame frame;
+  try {
+    frame = ccvc::engine::decode_frame(bytes);
+  } catch (const DecodeError&) {
+    return 0;
+  }
+  if (frame.kind != Frame::Kind::kSack) {
+    CCVC_FUZZ_REQUIRE(frame.sack.empty());  // only 0xF2 carries ranges
+    return 0;
+  }
+
+  // Canonicality: the decoder may only accept the unique minimal form.
+  std::uint64_t prev_last = frame.ack;
+  for (const auto& [first, last] : frame.sack) {
+    CCVC_FUZZ_REQUIRE(first >= prev_last + 2);  // above ack, non-adjacent
+    CCVC_FUZZ_REQUIRE(last >= first);           // non-empty run
+    prev_last = last;
+  }
+
+  const ccvc::net::Payload pass1 = ccvc::engine::encode_frame(frame);
+  const Frame again = ccvc::engine::decode_frame(pass1);
+  CCVC_FUZZ_REQUIRE(again.kind == frame.kind);
+  CCVC_FUZZ_REQUIRE(again.ack == frame.ack);
+  CCVC_FUZZ_REQUIRE(again.sack == frame.sack);
+  CCVC_FUZZ_REQUIRE(ccvc::engine::encode_frame(again) == pass1);
+  return 0;
+}

@@ -41,6 +41,11 @@
 
 namespace ccvc::engine {
 
+/// Pseudo site id of the hot-standby notifier's replication endpoint.
+/// Never a collaborating site — it only names the primary <-> standby
+/// channels in the Network and in traces.
+inline constexpr SiteId kStandbySite = 0xFFFFFFFFu;
+
 struct StarSessionConfig {
   std::size_t num_sites = 3;
   std::string initial_doc;
@@ -63,6 +68,16 @@ struct StarSessionConfig {
   net::FaultPlan uplink_faults;
   /// Fault plan applied to every notifier -> client channel.
   net::FaultPlan downlink_faults;
+  /// Hot-standby notifier: the primary continuously replicates its
+  /// durable state (0xD4 checkpoint + WAL entries, tags 0xE0/0xE1) to a
+  /// standby over a dedicated reliable link, and fail_primary() /
+  /// promote_standby() model a fail-stop of the primary followed by the
+  /// standby taking over.  Requires reliability.enabled.
+  bool standby = false;
+  /// One-way latency of the primary <-> standby replication channels
+  /// (clean fixed-latency links — replication rides its own provisioned
+  /// connection, not the faulted client paths).
+  double standby_latency_ms = 2.0;
   std::uint64_t seed = 0x5eed;
 };
 
@@ -159,6 +174,35 @@ class StarSession {
   /// semantics — and both link directions restart on fresh connections.
   void restart_client(SiteId i);
 
+  // --- hot-standby failover (cfg.standby) -----------------------------
+
+  /// Fail-stop of the primary notifier machine: every client connection
+  /// resets (in-flight traffic lost, channels down) and replication
+  /// stops.  Frames already on the wire to the standby still drain —
+  /// the standby is a different machine.  Clients stall (their links
+  /// retransmit into down channels) until promote_standby().
+  void fail_primary();
+
+  /// Promotes the standby to primary once its replication channel has
+  /// drained (call at least standby_promote_delay_ms() after
+  /// fail_primary(); checked).  The standby's replica checkpoint + WAL
+  /// become the durable store, the notifier restarts from them exactly
+  /// as in crash_notifier(), client channels re-open, and a fresh
+  /// standby is seeded so a later failover (or failback) works too.
+  void promote_standby();
+
+  /// Minimum fail->promote gap that guarantees the replication channel
+  /// has drained into the standby's replica.
+  double standby_promote_delay_ms() const {
+    return cfg_.standby_latency_ms + 1.0;
+  }
+
+  bool has_standby() const { return cfg_.standby; }
+  bool primary_failed() const { return primary_failed_; }
+  std::uint64_t failover_promotions() const { return failover_promotions_; }
+  /// WAL entries replicated to (and retained by) the standby.
+  std::size_t standby_wal_size() const { return standby_wal_.size(); }
+
   /// Aggregated reliability-layer statistics over every link.
   LinkStats link_stats() const;
   const ReliableLink& client_link(SiteId i) const { return *client_links_[i]; }
@@ -177,6 +221,10 @@ class StarSession {
   void make_notifier_link(SiteId i, const ReliableLink::State* state);
   void wire_channels(SiteId i);
   void restore_notifier_bundle(const net::Payload& bundle);
+  void wire_standby();
+  void replicate_checkpoint();
+  void replicate_wal_entry(SiteId from, const net::Payload& payload);
+  void on_replica_frame(const net::Payload& payload);
 
   StarSessionConfig cfg_;
   net::EventQueue queue_;
@@ -186,9 +234,21 @@ class StarSession {
   std::unique_ptr<NotifierSite> notifier_;
   std::vector<std::unique_ptr<ClientSite>> clients_;  // [site id]; [0] null
 
-  // Reliability sublayer (empty unless cfg_.reliability.enabled).
+  // Reliability sublayer.  Links always exist (one per direction pair);
+  // with cfg_.reliability.enabled == false they are passthroughs and the
+  // channels model lossless TCP directly.
   std::vector<std::shared_ptr<ReliableLink>> client_links_;    // [site id]
   std::vector<std::shared_ptr<ReliableLink>> notifier_links_;  // [site id]
+
+  // Hot-standby replication (cfg_.standby): the primary's end of the
+  // replication link, the standby's end, and the standby machine's
+  // replica of the durable store it promotes from.
+  std::shared_ptr<ReliableLink> repl_send_link_;
+  std::shared_ptr<ReliableLink> repl_recv_link_;
+  net::Payload standby_ckpt_;
+  std::vector<std::pair<SiteId, net::Payload>> standby_wal_;
+  bool primary_failed_ = false;
+  std::uint64_t failover_promotions_ = 0;
 
   // The notifier's durable storage: last atomic checkpoint (engine +
   // link states, tag 0xD4) plus the write-ahead log of every uplink
@@ -204,6 +264,9 @@ struct MeshSessionConfig {
   std::size_t num_sites = 4;
   MeshStamp stamp = MeshStamp::kFullVector;
   net::LatencyModel latency = net::LatencyModel::fixed(10.0);
+  /// Reliability sublayer on every pairwise link (passthrough when
+  /// disabled — the historical lossless-mesh baseline).
+  ReliabilityConfig reliability;
   std::uint64_t seed = 0x5eed;
 };
 
@@ -233,6 +296,9 @@ class MeshSession {
   util::Rng rng_;
   net::Network net_;
   std::vector<std::unique_ptr<MeshSite>> sites_;  // [site id]; [0] null
+  // links_[i][j]: site i's end of the i -> j conversation (passthrough
+  // unless cfg_.reliability.enabled).
+  std::vector<std::vector<std::shared_ptr<ReliableLink>>> links_;
 };
 
 }  // namespace ccvc::engine

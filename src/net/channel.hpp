@@ -87,6 +87,10 @@ class Channel {
   void drop_in_flight();
 
   const ChannelStats& stats() const { return stats_; }
+  /// Deliveries scheduled but not yet run.  Failover promotion uses this
+  /// to assert the replication channel has drained before the standby's
+  /// replica is treated as complete.
+  std::uint64_t in_flight() const { return in_flight_; }
   const std::string& name() const { return name_; }
 
   /// Site id stamped on this channel's trace events (the sender side).

@@ -19,6 +19,7 @@ ChaosReport run_chaos(const ChaosConfig& cfg) {
   scfg.reliability = cfg.reliability;
   scfg.uplink_faults = cfg.uplink_faults;
   scfg.downlink_faults = cfg.downlink_faults;
+  scfg.standby = cfg.standby;
   scfg.seed = cfg.seed;
 
   ObserverMux mux;
@@ -55,6 +56,14 @@ ChaosReport run_chaos(const ChaosConfig& cfg) {
                         session.restart_client(site);
                       });
   }
+  if (cfg.failover_at_ms >= 0.0) {
+    CCVC_CHECK_MSG(cfg.standby, "failover_at_ms requires standby");
+    queue.schedule_at(cfg.failover_at_ms,
+                      [&session] { session.fail_primary(); });
+    queue.schedule_at(
+        cfg.failover_at_ms + session.standby_promote_delay_ms(),
+        [&session] { session.promote_standby(); });
+  }
 
   // Drive to quiescence, pausing at checkpoint boundaries so the
   // notifier's durable state is captured mid-flight (in-transit frames,
@@ -87,6 +96,9 @@ ChaosReport run_chaos(const ChaosConfig& cfg) {
   if (cfg.reliability.enabled) r.links = session.link_stats();
   r.notifier_crashes = session.notifier_crashes();
   r.checkpoints = session.checkpoints_taken();
+  r.failover_promotions = session.failover_promotions();
+  if (cfg.standby) r.failover_outage_ms = session.standby_promote_delay_ms();
+  r.edits_deferred = workload.total_deferred();
   // now() is clamped up to each run_until target, so a drained queue
   // would misreport max_sim_ms; the last executed event marks true
   // quiescence.

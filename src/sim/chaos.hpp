@@ -47,6 +47,11 @@ struct ChaosConfig {
   SiteId disconnect_site = 1;
   double restart_client_at_ms = -1.0;  ///< crash-restarts `restart_site`
   SiteId restart_site = 1;
+  /// Hot-standby failover: provision a standby notifier and, at
+  /// failover_at_ms (negative = never), fail-stop the primary and
+  /// promote the standby once its replication channel has drained.
+  bool standby = false;
+  double failover_at_ms = -1.0;
 
   /// Safety bound: a run that has not drained by this simulated time is
   /// reported as not `completed` (liveness failure) instead of hanging.
@@ -67,6 +72,11 @@ struct ChaosReport {
   engine::LinkStats links;     ///< reliability-layer aggregate
   std::uint64_t notifier_crashes = 0;
   std::uint64_t checkpoints = 0;
+  std::uint64_t failover_promotions = 0;
+  /// Fail-stop-to-promotion window (the no-primary outage; 0 without a
+  /// standby) — the deterministic part of failover recovery time.
+  double failover_outage_ms = 0.0;
+  std::uint64_t edits_deferred = 0;  ///< workload stalls on a full window
   double sim_duration_ms = 0.0;  ///< simulated time of the last event
 };
 

@@ -154,6 +154,9 @@ ScriptResult run_script(const std::string& text) {
     } else if (w[0] == "reliable") {
       if (w.size() != 1) fail(st.line_no, "reliable");
       cfg.reliability.enabled = true;
+    } else if (w[0] == "standby") {
+      if (w.size() != 1) fail(st.line_no, "standby");
+      cfg.standby = true;
     } else if (w[0] == "mutate") {
       if (w.size() != 2) fail(st.line_no, "mutate NAME");
       if (!clocks::parse_formula_mutation(w[1], mutation)) {
@@ -215,6 +218,9 @@ ScriptResult run_script(const std::string& text) {
       !cfg.reliability.enabled) {
     fail(first_line, "fault statements require 'reliable'");
   }
+  if (cfg.standby && !cfg.reliability.enabled) {
+    fail(first_line, "standby requires 'reliable'");
+  }
   if (manual && (timed || cfg.reliability.enabled ||
                  cfg.uplink_faults.active() || cfg.downlink_faults.active())) {
     fail(first_line,
@@ -265,8 +271,8 @@ ScriptResult run_script(const std::string& text) {
   for (const auto& [st, raw] : statements) {
     const auto& w = st.words;
     if (w[0] == "sites" || w[0] == "doc" || w[0] == "latency" ||
-        w[0] == "no-transform" || w[0] == "reliable" || w[0] == "fault" ||
-        w[0] == "mutate" || w[0] == "program") {
+        w[0] == "no-transform" || w[0] == "reliable" || w[0] == "standby" ||
+        w[0] == "fault" || w[0] == "mutate" || w[0] == "program") {
       continue;  // handled in pass 1
     }
     if (w[0] == "at") {
@@ -293,6 +299,13 @@ ScriptResult run_script(const std::string& text) {
         if (w.size() != 3) fail(st.line_no, "at T crash-center");
         session.queue().schedule_at(t,
                                     [&session] { session.crash_notifier(); });
+      } else if (w[2] == "failover") {
+        if (w.size() != 3) fail(st.line_no, "at T failover");
+        if (!cfg.standby) fail(st.line_no, "failover requires 'standby'");
+        session.queue().schedule_at(t, [&session] { session.fail_primary(); });
+        session.queue().schedule_at(
+            t + session.standby_promote_delay_ms(),
+            [&session] { session.promote_standby(); });
       } else if (w[2] == "site") {
         if (w.size() < 5) fail(st.line_no, "at T site I insert|delete ...");
         const auto site = static_cast<SiteId>(to_u64(st, w[3]));

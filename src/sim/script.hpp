@@ -17,6 +17,9 @@
 //   no-transform             — E8 ablation mode
 //   reliable                 — enable the reliability sublayer (required
 //                              for fault/down/crash-center statements)
+//   standby                  — provision a hot-standby notifier that
+//                              mirrors checkpoint + WAL (requires
+//                              'reliable'; enables `at T failover`)
 //   fault KIND P [WINDOW]    — inject faults on every channel, both
 //                              directions.  KIND ∈ drop|dup|corrupt|
 //                              reorder, P ∈ [0,1); reorder takes an
@@ -34,6 +37,10 @@
 //   at T up I                    — heal them again
 //   at T crash-center            — crash-restart the notifier from its
 //                                  durable checkpoint + log
+//   at T failover                — fail-stop the primary notifier, then
+//                                  promote the hot standby once its
+//                                  replication links drain (requires
+//                                  'standby')
 //   step gen I               — site I generates its next program op NOW
 //   step up I                — deliver the oldest in-flight message on
 //                              the uplink I -> notifier

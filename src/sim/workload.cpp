@@ -62,6 +62,18 @@ void StarWorkload::edit_once(SiteId site) {
   auto& rng = rng_[site];
   auto& client = session_.client(site);
   if (client.departed()) return;  // membership churn may retire editors
+
+  // Backpressure: a full send window means the link already holds a
+  // window's worth of unacked traffic for this site.  A human at a
+  // stalled connection stops typing into the void; the workload models
+  // one by deferring the edit — without consuming it — until the
+  // window drains, instead of piling ops into the local queue.
+  if (session_.client_link(site).send_window_full()) {
+    ++deferred_;
+    const double delay = rng.exponential(cfg_.mean_think_ms);
+    session_.queue().schedule_in(delay, [this, site] { edit_once(site); });
+    return;
+  }
   const std::size_t doc_size = client.document().size();
 
   const bool do_insert =

@@ -39,6 +39,9 @@ class StarWorkload {
   void start();
 
   std::uint64_t total_generated() const { return generated_; }
+  /// Edits deferred (not consumed) because the site's send window was
+  /// full — the workload's view of link backpressure.
+  std::uint64_t total_deferred() const { return deferred_; }
 
  private:
   void schedule_next(SiteId site);
@@ -49,6 +52,7 @@ class StarWorkload {
   std::vector<util::Rng> rng_;              // [site]
   std::vector<std::size_t> remaining_;      // [site]
   std::uint64_t generated_ = 0;
+  std::uint64_t deferred_ = 0;
 };
 
 /// Drives a MeshSession: each site broadcasts `ops_per_site` small

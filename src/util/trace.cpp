@@ -38,6 +38,7 @@ const char* name(EventType type) {
     case EventType::kClientRestart: return "session.client_restart";
     case EventType::kDisconnect: return "session.disconnect";
     case EventType::kReconnect: return "session.reconnect";
+    case EventType::kFailover: return "session.failover";
   }
   return "unknown";
 }

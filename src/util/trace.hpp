@@ -40,6 +40,7 @@ enum class EventType : std::uint8_t {
   kClientRestart,    ///< site=restarted client
   kDisconnect,       ///< site=severed client
   kReconnect,        ///< site=healed client
+  kFailover,         ///< standby promoted to notifier; a=promotion count
 };
 
 /// Reason codes for kChannelDrop's `b` payload.

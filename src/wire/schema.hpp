@@ -2,8 +2,9 @@
 //
 // Every message and sub-record that crosses a byte boundary (the
 // paper's eq. (1)-(2) stamped messages 0xC1/0xC2, the mesh baseline
-// 0xC3, leave 0xC4, checkpoints 0xD1-0xD4, reliability frames
-// 0xF0/0xF1) is described exactly once here as a constexpr
+// 0xC3, leave 0xC4, checkpoints 0xD1-0xD4, standby replication
+// 0xE0/0xE1, reliability frames 0xF0-0xF2) is described exactly once
+// here as a constexpr
 // field-descriptor table: tag, field name, kind, and a mandatory
 // declared bound for every variable-length field.  The codecs in
 // engine/, clocks/ and ot/ drive the shared engine of wire/engine.hpp
@@ -115,6 +116,10 @@ inline constexpr std::uint64_t kMaxClockLen = 1ull << 20;
 inline constexpr std::uint64_t kMaxFramePayload = 1ull << 26;
 inline constexpr std::uint64_t kMaxBlob = 1ull << 28;
 inline constexpr std::uint64_t kMaxLinkEntries = 1ull << 20;
+/// A SACK frame reports at most this many gap runs; a receiver with more
+/// holes reports the lowest ones (the sender's cumulative cursor heals
+/// the rest on later frames).
+inline constexpr std::uint64_t kMaxSackRanges = 256;
 inline constexpr int kMaxNesting = 12;
 
 // ---------------------------------------------------------------------------
@@ -313,6 +318,17 @@ inline constexpr MessageDesc kLinkState{
     "LinkState", kNoTag, kLinkStateFields, 5,
     "one reliability link's send/receive state", "§2.6"};
 
+inline constexpr FieldDesc kSackRangeFields[] = {
+    {.name = "gap", .kind = FieldKind::kUvarint64, .bound = kU64Max,
+     .note = "distance from the previous run's end (first: from ack+1) "
+             "to the run's first delivered seq"},
+    {.name = "len", .kind = FieldKind::kUvarint64, .bound = kMaxLinkEntries,
+     .note = "delivered seqs in the run, >= 1"},
+};
+inline constexpr MessageDesc kSackRange{
+    "SackRange", kNoTag, kSackRangeFields, 2,
+    "one delta-encoded run of selectively-acknowledged seqs", "§2.6"};
+
 inline constexpr FieldDesc kBlobFields[] = {
     {.name = "bytes", .kind = FieldKind::kBytes, .bound = kMaxBlob},
 };
@@ -446,6 +462,24 @@ inline constexpr MessageDesc kNotifierBundle{
     "NotifierDurableCheckpoint", 0xD4, kNotifierBundleFields, 3,
     "engine snapshot + per-link reliability state", "§2.6"};
 
+inline constexpr FieldDesc kReplicaCheckpointFields[] = {
+    {.name = "bundle", .kind = FieldKind::kBytes, .bound = kMaxBlob,
+     .note = "a 0xD4 blob; resets the standby's WAL replica"},
+};
+inline constexpr MessageDesc kReplicaCheckpoint{
+    "ReplicaCheckpoint", 0xE0, kReplicaCheckpointFields, 1,
+    "primary → standby: durable checkpoint replication", "§2.7"};
+
+inline constexpr FieldDesc kReplicaWalEntryFields[] = {
+    {.name = "from", .kind = FieldKind::kUvarint32, .bound = kU32Max,
+     .note = "origin site of the logged payload"},
+    {.name = "payload", .kind = FieldKind::kBytes, .bound = kMaxFramePayload,
+     .note = "the §2 message bytes exactly as WAL-logged"},
+};
+inline constexpr MessageDesc kReplicaWalEntry{
+    "ReplicaWalEntry", 0xE1, kReplicaWalEntryFields, 2,
+    "primary → standby: one WAL entry, log order", "§2.7"};
+
 inline constexpr FieldDesc kDataFrameFields[] = {
     {.name = "seq", .kind = FieldKind::kUvarint64, .bound = kU64Max,
      .note = "per-link, per-direction, from 1"},
@@ -469,6 +503,20 @@ inline constexpr MessageDesc kAckFrame{
     "AckFrame", 0xF1, kAckFrameFields, 2,
     "reliability sublayer: standalone cumulative ack", "§2.6"};
 
+inline constexpr FieldDesc kSackFrameFields[] = {
+    {.name = "ack", .kind = FieldKind::kUvarint64, .bound = kU64Max,
+     .note = "cumulative — every seq ≤ ack has been delivered"},
+    {.name = "ranges",
+     .kind = FieldKind::kRepeated,
+     .bound = kMaxSackRanges,
+     .nested = &kSackRange,
+     .note = "strictly ascending delta runs above ack"},
+    {.name = "crc", .kind = FieldKind::kCrc32},
+};
+inline constexpr MessageDesc kSackFrame{
+    "SackFrame", 0xF2, kSackFrameFields, 3,
+    "reliability sublayer: cumulative ack + selective-ack ranges", "§2.6"};
+
 // ---------------------------------------------------------------------------
 // Registry: every record above, sub-records first, then tagged messages
 // in tag order.  ccvc_schema emits exactly this list.
@@ -478,10 +526,12 @@ inline constexpr const MessageDesc* kRegistry[] = {
     &kOpId, &kCompressedSv, &kVvComponent, &kVersionVector, &kSkEntry,
     &kSkTimestamp, &kWirePrimOp, &kWireOpList, &kCkptPrimOp, &kCkptOpList,
     &kClientHbEntry, &kClientPending, &kNotifierHbEntry, &kBridgeEntry,
-    &kBridgeQueue, &kCounter, &kActiveFlag, &kLinkEntry, &kLinkState, &kBlob,
+    &kBridgeQueue, &kCounter, &kActiveFlag, &kLinkEntry, &kLinkState,
+    &kSackRange, &kBlob,
     &kClientMsg, &kCenterMsg, &kMeshMsg, &kLeaveMsg, &kClientCheckpoint,
-    &kNotifierCheckpoint, &kSessionCheckpoint, &kNotifierBundle, &kDataFrame,
-    &kAckFrame,
+    &kNotifierCheckpoint, &kSessionCheckpoint, &kNotifierBundle,
+    &kReplicaCheckpoint, &kReplicaWalEntry, &kDataFrame, &kAckFrame,
+    &kSackFrame,
 };
 inline constexpr std::size_t kRegistrySize =
     sizeof(kRegistry) / sizeof(kRegistry[0]);
@@ -564,6 +614,14 @@ inline constexpr const FieldDesc& kFrameAck = kDataFrameFields[1];
 inline constexpr const FieldDesc& kFramePayload = kDataFrameFields[2];
 inline constexpr const FieldDesc& kFrameCrc = kDataFrameFields[3];
 inline constexpr const FieldDesc& kAckFrameAck = kAckFrameFields[0];
+inline constexpr const FieldDesc& kSackAck = kSackFrameFields[0];
+inline constexpr const FieldDesc& kSackRanges = kSackFrameFields[1];
+inline constexpr const FieldDesc& kSackCrc = kSackFrameFields[2];
+inline constexpr const FieldDesc& kSackRangeGap = kSackRangeFields[0];
+inline constexpr const FieldDesc& kSackRangeLen = kSackRangeFields[1];
+inline constexpr const FieldDesc& kReplicaBundle = kReplicaCheckpointFields[0];
+inline constexpr const FieldDesc& kReplicaFrom = kReplicaWalEntryFields[0];
+inline constexpr const FieldDesc& kReplicaPayload = kReplicaWalEntryFields[1];
 }  // namespace f
 
 // ---------------------------------------------------------------------------

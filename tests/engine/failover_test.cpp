@@ -1,0 +1,144 @@
+// Hot-standby notifier failover: continuous replication of the durable
+// checkpoint + WAL to a standby machine, fail-stop of the primary, and
+// promotion of the standby — validated for convergence, oracle-clean
+// causality verdicts, and the promotion preconditions.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/session.hpp"
+#include "sim/observers.hpp"
+#include "sim/oracle.hpp"
+#include "sim/workload.hpp"
+#include "util/check.hpp"
+
+namespace ccvc::sim {
+namespace {
+
+engine::StarSessionConfig standby_cfg(std::uint64_t seed) {
+  engine::StarSessionConfig cfg;
+  cfg.num_sites = 4;
+  cfg.initial_doc = "failover must not lose a single keystroke";
+  cfg.uplink = net::LatencyModel::uniform(10.0, 120.0);
+  cfg.downlink = net::LatencyModel::uniform(10.0, 120.0);
+  cfg.reliability.enabled = true;
+  cfg.standby = true;
+  cfg.seed = seed;
+  return cfg;
+}
+
+WorkloadConfig standby_workload(std::uint64_t seed) {
+  WorkloadConfig w;
+  w.ops_per_site = 25;
+  w.mean_think_ms = 20.0;
+  w.hotspot_prob = 0.4;
+  w.seed = seed;
+  return w;
+}
+
+TEST(HotStandby, ReplicatesDurableStateContinuously) {
+  engine::StarSession session(standby_cfg(1));
+  StarWorkload workload(session, standby_workload(10));
+  workload.start();
+  session.run_to_quiescence();
+  // At quiescence the standby's replica mirrors the primary's durable
+  // store: one replicated WAL entry per logged uplink delivery.
+  EXPECT_GT(session.wal_size(), 0u);
+  EXPECT_EQ(session.standby_wal_size(), session.wal_size());
+  // A durable checkpoint truncates both the primary's WAL and (via the
+  // 0xE0 replica frame) the standby's.
+  session.checkpoint_notifier();
+  session.run_to_quiescence();
+  EXPECT_EQ(session.wal_size(), 0u);
+  EXPECT_EQ(session.standby_wal_size(), 0u);
+}
+
+TEST(HotStandby, FailoverPreservesConvergenceAndCausality) {
+  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+    ObserverMux mux;
+    CausalityOracle oracle(4, true);
+    mux.add(&oracle);
+    engine::StarSession session(standby_cfg(seed), &mux);
+    StarWorkload workload(session, standby_workload(seed + 9));
+    workload.start();
+
+    // Fail the primary with traffic genuinely in transit.
+    session.queue().run_until(200.0);
+    EXPECT_GT(session.queue().pending(), 0u) << seed;
+    session.fail_primary();
+    EXPECT_TRUE(session.primary_failed());
+    session.queue().run_until(200.0 + session.standby_promote_delay_ms());
+    session.promote_standby();
+    session.run_to_quiescence();
+
+    EXPECT_TRUE(session.converged()) << seed;
+    EXPECT_EQ(oracle.verdict_mismatches(), 0u) << seed;
+    EXPECT_EQ(session.failover_promotions(), 1u);
+    EXPECT_FALSE(session.primary_failed());
+    // The fail-stop voided real in-flight traffic (connection reset)
+    // and retransmission repaid it.
+    EXPECT_GT(session.network().total_fault_stats().dropped_reset, 0u);
+    EXPECT_GT(session.link_stats().retransmits, 0u) << seed;
+  }
+}
+
+TEST(HotStandby, SurvivesRepeatedFailover) {
+  // Promotion re-seeds a fresh standby (checkpoint_notifier at the end
+  // of promote_standby), so a second fail-stop later in the run must
+  // recover just as cleanly.
+  ObserverMux mux;
+  CausalityOracle oracle(4, true);
+  mux.add(&oracle);
+  engine::StarSession session(standby_cfg(5), &mux);
+  StarWorkload workload(session, standby_workload(50));
+  workload.start();
+
+  for (const double t : {150.0, 500.0}) {
+    session.queue().run_until(t);
+    session.fail_primary();
+    session.queue().run_until(t + session.standby_promote_delay_ms());
+    session.promote_standby();
+  }
+  session.run_to_quiescence();
+
+  EXPECT_TRUE(session.converged());
+  EXPECT_EQ(oracle.verdict_mismatches(), 0u);
+  EXPECT_EQ(session.failover_promotions(), 2u);
+}
+
+TEST(HotStandby, PromotionPreconditionsAreChecked) {
+  engine::StarSession session(standby_cfg(7));
+  // Promote without a failure: rejected.
+  EXPECT_THROW(session.promote_standby(), ccvc::ContractViolation);
+  // Fail-stop without a standby configured: rejected.
+  engine::StarSessionConfig no_standby = standby_cfg(8);
+  no_standby.standby = false;
+  engine::StarSession plain(no_standby);
+  EXPECT_THROW(plain.fail_primary(), ccvc::ContractViolation);
+  // Double fail-stop: rejected.
+  session.run_to_quiescence();
+  session.fail_primary();
+  EXPECT_THROW(session.fail_primary(), ccvc::ContractViolation);
+}
+
+TEST(HotStandby, ClientsStallDuringOutageAndDrainAfterPromotion) {
+  engine::StarSession session(standby_cfg(9));
+  session.run_to_quiescence();
+  const double t0 = session.queue().now();
+  session.fail_primary();
+  // Edits typed during the outage queue in the client-side links (their
+  // retransmissions die on the downed channels) and survive promotion.
+  session.client(1).insert(0, "during-outage ");
+  session.client(2).insert(0, "also-queued ");
+  session.queue().run_until(t0 + session.standby_promote_delay_ms());
+  session.promote_standby();
+  session.run_to_quiescence();
+  EXPECT_TRUE(session.converged());
+  const std::string doc = session.documents().front();
+  EXPECT_NE(doc.find("during-outage "), std::string::npos);
+  EXPECT_NE(doc.find("also-queued "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccvc::sim

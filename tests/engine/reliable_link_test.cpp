@@ -14,6 +14,7 @@
 #include "net/event_queue.hpp"
 #include "net/fault.hpp"
 #include "util/check.hpp"
+#include "util/checksum.hpp"
 #include "util/rng.hpp"
 #include "util/varint.hpp"
 
@@ -26,6 +27,13 @@ net::Payload text(const std::string& s) {
 
 std::string str(const net::Payload& p) {
   return std::string(p.begin(), p.end());
+}
+
+/// The sublayer under test, switched on (the config default is the
+/// passthrough used by sessions without fault tolerance).
+ReliabilityConfig on(ReliabilityConfig cfg = {}) {
+  cfg.enabled = true;
+  return cfg;
 }
 
 // --- frame codec -----------------------------------------------------
@@ -80,13 +88,78 @@ TEST(FrameCodec, EverySingleBitFlipIsRejected) {
 }
 
 TEST(FrameCodec, TruncationIsRejected) {
-  const net::Payload wire = encode_frame(Frame{
-      Frame::Kind::kData, 7, 3, text("abc")});
+  Frame f;
+  f.kind = Frame::Kind::kData;
+  f.seq = 7;
+  f.ack = 3;
+  f.payload = text("abc");
+  const net::Payload wire = encode_frame(f);
   for (std::size_t len = 0; len < wire.size(); ++len) {
     const net::Payload prefix(wire.begin(),
                               wire.begin() + static_cast<std::ptrdiff_t>(len));
     EXPECT_THROW(decode_frame(prefix), util::DecodeError) << "len " << len;
   }
+}
+
+TEST(FrameCodec, SackRoundTrip) {
+  Frame f;
+  f.kind = Frame::Kind::kSack;
+  f.ack = 4;
+  f.sack = {{6, 9}, {12, 12}, {20, 31}};
+  const Frame g = decode_frame(encode_frame(f));
+  EXPECT_EQ(g.kind, Frame::Kind::kSack);
+  EXPECT_EQ(g.ack, 4u);
+  EXPECT_EQ(g.sack, f.sack);
+  EXPECT_TRUE(g.payload.empty());
+}
+
+TEST(FrameCodec, EmptySackEncodesAndRejectsNothing) {
+  Frame f;
+  f.kind = Frame::Kind::kSack;
+  f.ack = 7;
+  const Frame g = decode_frame(encode_frame(f));
+  EXPECT_EQ(g.ack, 7u);
+  EXPECT_TRUE(g.sack.empty());
+}
+
+// Hand-crafts a sack frame from raw (gap, len) deltas, with a valid
+// CRC, to reach the decoder's canonicality checks.
+net::Payload raw_sack(
+    std::uint64_t ack,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& gap_len) {
+  util::ByteSink sink;
+  sink.put_u8(0xF2);
+  sink.put_uvarint(ack);
+  sink.put_uvarint(gap_len.size());
+  for (const auto& [gap, len] : gap_len) {
+    sink.put_uvarint(gap);
+    sink.put_uvarint(len);
+  }
+  net::Payload bytes = sink.bytes();
+  const std::uint32_t crc = util::crc32(bytes.data(), bytes.size());
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  return bytes;
+}
+
+TEST(FrameCodec, NonCanonicalSackIsRejected) {
+  // gap == 1: the run would be contiguous with the cumulative ack.
+  EXPECT_THROW(decode_frame(raw_sack(3, {{1, 2}})), util::DecodeError);
+  // gap == 0 after a run: overlapping/unsorted runs.
+  EXPECT_THROW(decode_frame(raw_sack(3, {{2, 2}, {0, 1}})),
+               util::DecodeError);
+  // len == 0: an empty run carries no information.
+  EXPECT_THROW(decode_frame(raw_sack(3, {{2, 0}})), util::DecodeError);
+  // Overflowing run start.
+  EXPECT_THROW(
+      decode_frame(raw_sack(0xfffffffffffffffeull, {{5, 1}})),
+      util::DecodeError);
+  // The same deltas in canonical form decode fine.
+  const Frame ok = decode_frame(raw_sack(3, {{2, 2}, {3, 1}}));
+  ASSERT_EQ(ok.sack.size(), 2u);
+  EXPECT_EQ(ok.sack[0], (std::pair<std::uint64_t, std::uint64_t>{5, 6}));
+  EXPECT_EQ(ok.sack[1], (std::pair<std::uint64_t, std::uint64_t>{9, 9}));
 }
 
 // --- link pair over a channel ---------------------------------------
@@ -102,16 +175,16 @@ struct LinkPair {
   std::vector<std::string> at_a;  // payloads delivered to each endpoint
   std::vector<std::string> at_b;
 
-  explicit LinkPair(std::uint64_t seed, const ReliabilityConfig& cfg = {},
+  explicit LinkPair(std::uint64_t seed, const ReliabilityConfig& cfg = on(),
                     net::LatencyModel latency = net::LatencyModel::fixed(10.0),
                     net::Ordering ordering = net::Ordering::kFifo)
       : ab(queue, latency, util::Rng(seed), "a->b", ordering),
         ba(queue, latency, util::Rng(seed + 1), "b->a", ordering) {
     a = ReliableLink::make(
-        queue, cfg, "a", [this](net::Payload p) { ab.send(std::move(p)); },
+        queue, on(cfg), "a", [this](net::Payload p) { ab.send(std::move(p)); },
         [this](const net::Payload& p) { at_a.push_back(str(p)); });
     b = ReliableLink::make(
-        queue, cfg, "b", [this](net::Payload p) { ba.send(std::move(p)); },
+        queue, on(cfg), "b", [this](net::Payload p) { ba.send(std::move(p)); },
         [this](const net::Payload& p) { at_b.push_back(str(p)); });
     ab.set_receiver([this](const net::Payload& p) { b->on_frame(p); });
     ba.set_receiver([this](const net::Payload& p) { a->on_frame(p); });
@@ -152,8 +225,10 @@ TEST(ReliableLink, SurvivesHeavyDropWithRetransmits) {
               "m" + std::to_string(i));
   }
   EXPECT_EQ(pair.a->unacked_count(), 0u);
-  EXPECT_GT(pair.a->stats().retransmits, 0u);
-  EXPECT_GT(pair.b->stats().duplicates, 0u);  // retransmit races an ack
+  // Lost frames (and lost acks) forced resends; selective repeat keeps
+  // them targeted, so duplicates are possible but no longer guaranteed.
+  EXPECT_GT(pair.a->stats().retransmits + pair.a->stats().fast_retransmits,
+            0u);
 }
 
 TEST(ReliableLink, DuplicationIsSuppressed) {
@@ -215,13 +290,166 @@ TEST(ReliableLink, BidirectionalTrafficPiggybacksAcks) {
   EXPECT_EQ(pair.b->unacked_count(), 0u);
 }
 
-TEST(ReliableLink, RetransmitBufferBoundIsEnforced) {
+TEST(ReliableLink, AdaptiveRtoConvergesOnCleanChannel) {
+  LinkPair pair(8);
+  EXPECT_DOUBLE_EQ(pair.a->rto_ms(), 80.0);  // no samples yet: initial
+  for (int i = 0; i < 20; ++i) {
+    pair.a->send(text("m" + std::to_string(i)));
+    pair.queue.run();
+  }
+  // Each round trip measures ~25 ms (10 ms out, 5 ms delayed ack,
+  // 10 ms back); rttvar decays toward zero, so the adaptive RTO
+  // converges near srtt — far below the 80 ms initial guess.
+  EXPECT_TRUE(pair.a->estimator().has_sample());
+  EXPECT_NEAR(pair.a->estimator().srtt_ms(), 25.0, 1.0);
+  EXPECT_LT(pair.a->rto_ms(), 80.0);
+  EXPECT_GE(pair.a->rto_ms(), 20.0);  // min_rto floor
+}
+
+TEST(ReliableLink, SelectiveRepeatHealsAHoleCheaperThanGoBackN) {
+  // One lost frame at the head of a 10-frame burst.  With SACK the
+  // receiver reports the 9 buffered frames and the sender repairs just
+  // the hole (a fast retransmit); in go-back-N mode the RTO resends the
+  // whole window.
+  struct ModeStats {
+    LinkStats a;
+    LinkStats b;
+  };
+  auto run_mode = [](bool go_back_n) {
+    ReliabilityConfig cfg;
+    cfg.go_back_n = go_back_n;
+    LinkPair pair(9, cfg);
+    pair.ab.set_down(true);
+    pair.a->send(text("hole"));  // dropped
+    pair.ab.set_down(false);
+    for (int i = 1; i < 10; ++i) pair.a->send(text("m" + std::to_string(i)));
+    pair.queue.run();
+    EXPECT_EQ(pair.at_b.size(), 10u);
+    EXPECT_EQ(pair.at_b.front(), "hole");
+    return ModeStats{pair.a->stats(), pair.b->stats()};
+  };
+  const ModeStats sack = run_mode(false);
+  const ModeStats gbn = run_mode(true);
+  EXPECT_GE(sack.b.sacks_sent, 1u);
+  EXPECT_EQ(sack.a.fast_retransmits, 1u);  // only the hole was resent
+  EXPECT_EQ(sack.a.retransmits, 0u);       // the RTO never fired
+  EXPECT_EQ(gbn.b.sacks_sent, 0u);
+  EXPECT_GE(gbn.a.retransmits, 10u);  // the whole window went again
+  EXPECT_LT(sack.a.bytes_retransmitted, gbn.a.bytes_retransmitted);
+}
+
+TEST(ReliableLink, IdleReackRepairsALostAck) {
+  LinkPair pair(10);
+  pair.ba.set_down(true);  // the ack path is dead, data still flows
+  pair.a->send(text("m0"));
+  pair.queue.run_until(20.0);  // delivered; its delayed ack was dropped
+  EXPECT_EQ(pair.at_b.size(), 1u);
+  EXPECT_EQ(pair.a->unacked_count(), 1u);
+  pair.ba.set_down(false);
+  pair.queue.run();
+  // The idle re-ack (one-shot, ~0.5·RTO after the lost ack) beat the
+  // sender's 80 ms RTO: the window drained with zero retransmissions.
+  EXPECT_EQ(pair.a->unacked_count(), 0u);
+  EXPECT_EQ(pair.a->stats().retransmits, 0u);
+  EXPECT_GE(pair.b->stats().acks_sent, 2u);
+}
+
+TEST(ReliableLink, KarnExcludesRetransmittedSamples) {
+  LinkPair pair(12);
+  pair.ab.set_down(true);
+  pair.a->send(text("m0"));  // first transmission dropped
+  pair.queue.run_until(10.0);
+  pair.ab.set_down(false);
+  pair.queue.run();
+  // The frame was only delivered via its RTO retransmission (t=80); the
+  // ack's RTT is ambiguous, so Karn discards the sample and the backed-
+  // off multiplier stays in force.
+  EXPECT_EQ(pair.at_b.size(), 1u);
+  EXPECT_EQ(pair.a->unacked_count(), 0u);
+  EXPECT_EQ(pair.a->stats().retransmits, 1u);
+  EXPECT_FALSE(pair.a->estimator().has_sample());
+  EXPECT_DOUBLE_EQ(pair.a->rto_ms(), 160.0);  // 80 · backoff 2
+  // A fresh frame sent exactly once finally yields a sample, resetting
+  // the backoff and adapting the timer to the measured path.
+  pair.a->send(text("m1"));
+  pair.queue.run();
+  EXPECT_TRUE(pair.a->estimator().has_sample());
+  EXPECT_NEAR(pair.a->estimator().srtt_ms(), 25.0, 1.0);
+  EXPECT_LT(pair.a->rto_ms(), 160.0);
+}
+
+TEST(ReliableLink, BackpressureQueuesInsteadOfThrowing) {
   ReliabilityConfig cfg;
   cfg.max_unacked = 8;
   LinkPair pair(7, cfg);
   pair.ab.set_down(true);  // nothing ever acked
-  for (int i = 0; i < 8; ++i) pair.a->send(text("x"));
-  EXPECT_THROW(pair.a->send(text("overflow")), ContractViolation);
+  for (int i = 0; i < 20; ++i) pair.a->send(text("m" + std::to_string(i)));
+  // The window filled at 8; the remaining 12 queued locally.
+  EXPECT_TRUE(pair.a->send_window_full());
+  EXPECT_EQ(pair.a->unacked_count(), 20u);
+  EXPECT_EQ(pair.a->queued_count(), 12u);
+  EXPECT_EQ(pair.a->stats().stalls, 12u);
+  EXPECT_EQ(pair.a->stats().data_sent, 8u);  // only the window transmitted
+
+  // Once the line heals, acks open the window and the queue drains —
+  // every payload arrives exactly once, in order.
+  pair.ab.set_down(false);
+  pair.queue.run();
+  ASSERT_EQ(pair.at_b.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(pair.at_b[static_cast<std::size_t>(i)],
+              "m" + std::to_string(i));
+  }
+  EXPECT_FALSE(pair.a->send_window_full());
+  EXPECT_EQ(pair.a->unacked_count(), 0u);
+  EXPECT_EQ(pair.a->queued_count(), 0u);
+}
+
+TEST(ReliableLink, BackpressureStallAndDrainUnderLoss) {
+  // Property flavor: a tiny window, a lossy channel, and more sends
+  // than window slots.  Whatever the fault pattern, nothing throws,
+  // nothing is lost, and the queue fully drains.
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    ReliabilityConfig cfg;
+    cfg.max_unacked = 4;
+    LinkPair pair(seed, cfg);
+    net::FaultPlan plan;
+    plan.drop_prob = 0.3;
+    pair.ab.set_fault_plan(plan);
+    pair.ba.set_fault_plan(plan);
+    for (int i = 0; i < 60; ++i) pair.a->send(text("m" + std::to_string(i)));
+    EXPECT_GT(pair.a->stats().stalls, 0u) << "seed " << seed;
+    pair.queue.run();
+    ASSERT_EQ(pair.at_b.size(), 60u) << "seed " << seed;
+    for (int i = 0; i < 60; ++i) {
+      EXPECT_EQ(pair.at_b[static_cast<std::size_t>(i)],
+                "m" + std::to_string(i));
+    }
+    EXPECT_EQ(pair.a->unacked_count(), 0u);
+  }
+}
+
+TEST(ReliableLink, PassthroughCarriesRawBytes) {
+  // cfg.enabled == false: no framing, no state — bytes in, bytes out.
+  ReliabilityConfig cfg;  // default: disabled
+  net::EventQueue queue;
+  net::Channel ab(queue, net::LatencyModel::fixed(10.0), util::Rng(1),
+                  "a->b");
+  std::vector<std::string> at_b;
+  auto b = ReliableLink::make(
+      queue, cfg, "b", [](net::Payload) {},
+      [&at_b](const net::Payload& p) { at_b.push_back(str(p)); });
+  ab.set_receiver([&b](const net::Payload& p) { b->on_frame(p); });
+  auto a = ReliableLink::make(
+      queue, cfg, "a", [&ab](net::Payload p) { ab.send(std::move(p)); },
+      [](const net::Payload&) {});
+  a->send(text("raw"));
+  queue.run();
+  ASSERT_EQ(at_b.size(), 1u);
+  EXPECT_EQ(at_b[0], "raw");  // not a 0xF0 frame — the bytes themselves
+  EXPECT_EQ(a->stats().data_sent, 0u);
+  EXPECT_EQ(a->unacked_count(), 0u);
+  EXPECT_FALSE(a->send_window_full());
 }
 
 // --- checkpoint / restore --------------------------------------------
@@ -251,7 +479,7 @@ TEST(ReliableLinkState, CodecRoundTrip) {
   {
     net::EventQueue queue;
     auto link = ReliableLink::restore(
-        queue, ReliabilityConfig{}, "r", s, [](net::Payload) {},
+        queue, on(), "r", s, [](net::Payload) {},
         [](const net::Payload&) {});
     util::ByteSink out;
     link->encode_state(out);
@@ -270,13 +498,13 @@ TEST(ReliableLink, RestoredSenderFinishesTheConversation) {
                   "b->a");
   std::vector<std::string> at_b;
   auto b = ReliableLink::make(
-      queue, ReliabilityConfig{}, "b",
+      queue, on(), "b",
       [&ba](net::Payload p) { ba.send(std::move(p)); },
       [&at_b](const net::Payload& p) { at_b.push_back(str(p)); });
   ab.set_receiver([&b](const net::Payload& p) { b->on_frame(p); });
 
   auto a = ReliableLink::make(
-      queue, ReliabilityConfig{}, "a",
+      queue, on(), "a",
       [&ab](net::Payload p) { ab.send(std::move(p)); },
       [](const net::Payload&) {});
   ba.set_receiver([&a](const net::Payload& p) { a->on_frame(p); });
@@ -293,7 +521,7 @@ TEST(ReliableLink, RestoredSenderFinishesTheConversation) {
   ab.set_down(false);
   ab.drop_in_flight();
   a = ReliableLink::restore(
-      queue, ReliabilityConfig{}, "a", ckpt,
+      queue, on(), "a", ckpt,
       [&ab](net::Payload p) { ab.send(std::move(p)); },
       [](const net::Payload&) {});
   ba.set_receiver([&a](const net::Payload& p) { a->on_frame(p); });
@@ -315,12 +543,14 @@ TEST(ReliableLink, NoteReplayedDeliveryDedupsTheRetransmission) {
   pair.queue.run_until(30.0);
   ASSERT_EQ(pair.at_b.size(), 1u);
 
-  // b crashes and is rebuilt from a pre-delivery checkpoint, then
-  // replays "logged" from its WAL.
+  // b crashes (the old link object dies with its pending timers — the
+  // idle re-ack must not fire from a dead process) and is rebuilt from
+  // a pre-delivery checkpoint, then replays "logged" from its WAL.
+  pair.b.reset();
   const ReliableLink::State fresh;  // pre-conversation state
   pair.at_b.clear();
   auto b2 = ReliableLink::restore(
-      pair.queue, ReliabilityConfig{}, "b", fresh,
+      pair.queue, on(), "b", fresh,
       [&pair](net::Payload p) { pair.ba.send(std::move(p)); },
       [&pair](const net::Payload& p) { pair.at_b.push_back(str(p)); });
   b2->note_replayed_delivery();

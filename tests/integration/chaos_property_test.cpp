@@ -101,6 +101,40 @@ TEST_P(ChaosSweep, ClientCrashRestartUnderFaultsStillConverges) {
   EXPECT_EQ(r.verdict_mismatches, 0u);
 }
 
+TEST_P(ChaosSweep, FailoverToHotStandbyUnderFaultsStillConverges) {
+  // The primary notifier fail-stops mid-run (it does not come back) and
+  // the hot standby is promoted from its replicated checkpoint + WAL.
+  // Every replica must still converge with oracle-clean verdicts, and
+  // the promotion must be exactly one — no spurious re-promotion.
+  ChaosConfig cfg = chaos_cfg(GetParam() + 200);
+  cfg.crash_notifier_at_ms = -1.0;  // fail-stop instead of crash-restart
+  cfg.standby = true;
+  cfg.failover_at_ms = 250.0;
+  const ChaosReport r = run_chaos(cfg);
+  ASSERT_TRUE(r.completed) << "stuck at t=" << r.sim_duration_ms;
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.verdict_mismatches, 0u);
+  EXPECT_GT(r.verdicts, 0u);
+  EXPECT_EQ(r.failover_promotions, 1u);
+  EXPECT_EQ(r.notifier_crashes, 0u);  // fail-stop is not a crash-restart
+}
+
+TEST_P(ChaosSweep, TinySendWindowBackpressuresInsteadOfFaulting) {
+  // A send window far below the in-flight demand used to be a
+  // ContractViolation; now senders stall.  The workload must visibly
+  // defer edits, the link must record the stalls, and — the property —
+  // the run still completes and converges with every op accounted for.
+  ChaosConfig cfg = chaos_cfg(GetParam() + 300);
+  cfg.reliability.max_unacked = 2;
+  const ChaosReport r = run_chaos(cfg);
+  ASSERT_TRUE(r.completed) << "stuck at t=" << r.sim_duration_ms;
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.verdict_mismatches, 0u);
+  EXPECT_GT(r.links.stalls, 0u);
+  EXPECT_GT(r.edits_deferred, 0u);
+  EXPECT_EQ(r.ops_generated, cfg.workload.ops_per_site * cfg.num_sites);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u));
 

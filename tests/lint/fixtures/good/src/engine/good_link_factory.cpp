@@ -1,0 +1,20 @@
+// Fixture: a raw Channel::send inside the RawSend lambda handed to
+// ReliableLink::make() — the sanctioned reliability boundary.  The
+// structural raw-channel-send rule must not flag any line inside the
+// factory call's paren-matched extent, with no allow() pragma needed.
+struct FixtureChannel {
+  void send(int);
+};
+struct FixtureNet {
+  FixtureChannel& channel(int, int);
+};
+struct ReliableLink {
+  template <typename F>
+  static ReliableLink* make(int queue, const char* name, F raw_send);
+};
+
+ReliableLink* good_link_factory_fixture(FixtureNet& net_) {
+  return ReliableLink::make(
+      0, "link-fixture",
+      [&net_](int frame) { net_.channel(1, 2).send(frame); });
+}

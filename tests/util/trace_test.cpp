@@ -75,7 +75,7 @@ TEST_F(TraceTest, EveryEventTypeHasAName) {
            trace::EventType::kCheckpoint, trace::EventType::kWalAppend,
            trace::EventType::kCrash, trace::EventType::kRecoveryReplay,
            trace::EventType::kClientRestart, trace::EventType::kDisconnect,
-           trace::EventType::kReconnect,
+           trace::EventType::kReconnect, trace::EventType::kFailover,
        }) {
     EXPECT_STRNE(trace::name(t), "unknown");
   }

@@ -73,6 +73,16 @@ TEST(BoundReject, NotifierBundleHostileBlobLengthRejected) {
                util::DecodeError);
 }
 
+TEST(BoundReject, SackFrameHostileRangeCountRejected) {
+  // The count must be checked before any range is materialized, so a
+  // hostile claim fails fast instead of allocating 2^60 pairs.
+  util::ByteSink sink;
+  sink.put_u8(0xF2);
+  sink.put_uvarint(1);                        // ack
+  sink.put_uvarint(wire::kMaxSackRanges + 1);  // hostile range count
+  EXPECT_THROW(engine::decode_frame(sink.bytes()), util::DecodeError);
+}
+
 TEST(BoundReject, LinkStateAckDueByteMustBeBoolean) {
   // The schema says ack_due ∈ {0,1}; 2 is malformed wire input now.
   util::ByteSink sink;

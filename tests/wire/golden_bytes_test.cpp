@@ -128,6 +128,16 @@ TEST(GoldenBytes, AckFrame) {
   EXPECT_EQ(hex(engine::encode_frame(f)), "f107a0571ad2");
 }
 
+TEST(GoldenBytes, SackFrame) {
+  // Ranges ride as (gap, len) deltas off the cumulative ack: {8,9} is
+  // gap 8-5=3 / len 2, {12,12} is gap 12-9=3 / len 1 (PROTOCOL.md §2.6).
+  engine::Frame f;
+  f.kind = engine::Frame::Kind::kSack;
+  f.ack = 5;
+  f.sack = {{8, 9}, {12, 12}};
+  EXPECT_EQ(hex(engine::encode_frame(f)), "f2050203020301882e9b09");
+}
+
 TEST(GoldenBytes, LinkState) {
   engine::ReliableLink::State st;
   st.next_seq = 2;

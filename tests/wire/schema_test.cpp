@@ -16,9 +16,9 @@ namespace {
 using namespace ccvc;
 
 TEST(SchemaRegistry, EveryDocumentedTagResolves) {
-  // The ten §2.0 tags, exactly.
-  const std::set<int> expected = {0xC1, 0xC2, 0xC3, 0xC4, 0xD1,
-                                  0xD2, 0xD3, 0xD4, 0xF0, 0xF1};
+  // The thirteen §2.0 tags, exactly.
+  const std::set<int> expected = {0xC1, 0xC2, 0xC3, 0xC4, 0xD1, 0xD2, 0xD3,
+                                  0xD4, 0xE0, 0xE1, 0xF0, 0xF1, 0xF2};
   std::set<int> found;
   for (const wire::MessageDesc* m : wire::kRegistry) {
     if (m->tag != wire::kNoTag) found.insert(m->tag);
@@ -84,8 +84,8 @@ TEST(SchemaEmit, DocTableIsDeterministicTagSortedAndComplete) {
   const std::string t = wire::doc_table();
   EXPECT_EQ(t, wire::doc_table());
   std::size_t pos = 0;
-  for (int tag : {0xC1, 0xC2, 0xC3, 0xC4, 0xD1, 0xD2, 0xD3, 0xD4, 0xF0,
-                  0xF1}) {
+  for (int tag : {0xC1, 0xC2, 0xC3, 0xC4, 0xD1, 0xD2, 0xD3, 0xD4, 0xE0,
+                  0xE1, 0xF0, 0xF1, 0xF2}) {
     char row[16];
     std::snprintf(row, sizeof row, "| `0x%02X` |", tag);
     const std::size_t at = t.find(row);

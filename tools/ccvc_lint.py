@@ -33,9 +33,13 @@ Enforces invariants generic tools cannot express:
                      reliability sublayer's sequencing/retransmission,
                      silently losing its exactly-once guarantee when
                      fault injection is on.  Route through a
-                     ReliableLink (or the session's dispatch lambdas,
-                     which switch on cfg.reliability.enabled and carry
-                     explicit allow pragmas on their legacy branch).
+                     ReliableLink.  Recognized structurally: the one
+                     sanctioned place for a raw send is the RawSend
+                     lambda handed to ReliableLink::make()/restore(),
+                     so sends inside those call extents (paren-matched)
+                     are allowed — the link owns the channel boundary,
+                     and with reliability disabled it degrades to a
+                     passthrough rather than bypassing the sublayer.
 
   metric-name        Every metric name passed to a CCVC_METRIC_* macro
                      under src/ must appear in the instrument catalog
@@ -139,6 +143,33 @@ ALLOW_RE = re.compile(r"ccvc-lint:\s*allow\(([a-z\-]+)\)")
 RAW_CHANNEL_SEND_RE = re.compile(
     r"\bchannel\w*\s*(?:\([^()]*\))?\s*(?:\.|->)\s*send\s*\("
 )
+# The reliability-sublayer factories.  Their argument list (including
+# the RawSend lambda) is the sanctioned raw-channel boundary.
+LINK_FACTORY_RE = re.compile(r"\bReliableLink::(?:make|restore)\s*\(")
+
+
+def link_factory_extents(clean: str) -> set[int]:
+    """Line numbers covered by a ReliableLink::make(...)/restore(...)
+    call in comment/string-stripped text, opening paren to its match.
+
+    A raw Channel::send inside such an extent is the RawSend lambda the
+    factory owns — the reliability boundary itself, not a bypass."""
+    lines: set[int] = set()
+    for m in LINK_FACTORY_RE.finditer(clean):
+        depth = 0
+        end = len(clean) - 1
+        for j in range(m.end() - 1, len(clean)):
+            c = clean[j]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    end = j
+                    break
+        lines.update(range(clean.count("\n", 0, m.start()) + 1,
+                           clean.count("\n", 0, end) + 2))
+    return lines
 # A repo-file reference in prose: at least one directory component and
 # a recognized source/doc extension.  Deliberately does NOT match bare
 # file names ("session.cpp") — only path-shaped references are checked.
@@ -249,6 +280,8 @@ class Linter:
         raw = path.read_text(encoding="utf-8")
         clean = strip_comments_and_strings(raw)
         rel = str(path.relative_to(self.root))
+        link_extents = (link_factory_extents(clean)
+                        if rel.startswith("src/engine/") else set())
         for lineno, line in enumerate(clean.splitlines(), start=1):
             allowed = {m.group(1) for m in ALLOW_RE.finditer(line)}
 
@@ -279,7 +312,9 @@ class Linter:
                                 "from the seeded util::Rng (src/util/"
                                 "rng.hpp) so runs replay from cfg.seed")
 
-            if rel.startswith("src/engine/") and RAW_CHANNEL_SEND_RE.search(line):
+            if (rel.startswith("src/engine/")
+                    and RAW_CHANNEL_SEND_RE.search(line)
+                    and lineno not in link_extents):
                 if "raw-channel-send" not in allowed:
                     self.report(path, lineno, "raw-channel-send",
                                 "engine code must not call Channel::send "

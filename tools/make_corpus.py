@@ -23,6 +23,7 @@ MAX_OPS = 1 << 20
 MAX_DELETE_COUNT = 1 << 20
 MAX_SITES = 1 << 20
 MAX_BLOB = 1 << 28
+MAX_SACK_RANGES = 256
 U32_MAX = (1 << 32) - 1
 U64_MAX = (1 << 64) - 1
 
@@ -92,6 +93,26 @@ def data_frame(seq: int, ack: int, payload: bytes) -> bytes:
 
 def ack_frame(ack: int) -> bytes:
     return framed(bytes([0xF1]) + uvarint(ack))
+
+
+def sack_frame(ack: int, ranges: list[tuple[int, int]]) -> bytes:
+    """Tag-0xF2 selective ack: (gap, len) deltas off the cumulative ack;
+    canonical form has every gap >= 2 and every len >= 1."""
+    body = bytes([0xF2]) + uvarint(ack) + uvarint(len(ranges))
+    prev = ack
+    for first, last in ranges:
+        body += uvarint(first - prev) + uvarint(last - first + 1)
+        prev = last
+    return framed(body)
+
+
+def raw_sack_frame(ack: int, pairs: list[tuple[int, int]]) -> bytes:
+    """Same framing but with verbatim (gap, len) pairs — for seeding the
+    non-canonical encodings the decoder must reject."""
+    body = bytes([0xF2]) + uvarint(ack) + uvarint(len(pairs))
+    for gap, ln in pairs:
+        body += uvarint(gap) + uvarint(ln)
+    return framed(body)
 
 
 def vv(values: list[int]) -> bytes:
@@ -228,6 +249,29 @@ SEEDS = {
         # widest legal values with a valid trailing CRC.
         "data_u64_seq": data_frame(U64_MAX, U64_MAX - 1, b""),
         "ack_u64": ack_frame(U64_MAX),
+    },
+    "sack": {
+        "empty": sack_frame(0, []),
+        "one_hole": sack_frame(5, [(8, 9), (12, 12)]),
+        "many_runs": sack_frame(0, [(2 + 3 * i, 3 + 3 * i)
+                                    for i in range(16)]),
+        "large_seqs": sack_frame((1 << 40), [((1 << 40) + 7,
+                                              (1 << 40) + 9)]),
+        # Non-canonical forms the decoder must reject: adjacency
+        # (gap 1), a zero gap, a zero-length run, and a delta sum that
+        # overflows u64.
+        "bad_gap_one": raw_sack_frame(4, [(1, 2)]),
+        "bad_gap_zero": raw_sack_frame(4, [(2, 1), (0, 1)]),
+        "bad_len_zero": raw_sack_frame(4, [(2, 0)]),
+        "bad_overflow": raw_sack_frame(U64_MAX - 1, [(2, 2)]),
+        "bad_crc": sack_frame(5, [(8, 9)])[:-1]
+        + bytes([sack_frame(5, [(8, 9)])[-1] ^ 0xFF]),
+        # Schema boundaries: range-count claims at and just past the
+        # declared kMaxSackRanges bound.
+        "count_bound_claim": framed(bytes([0xF2]) + uvarint(0)
+                                    + uvarint(MAX_SACK_RANGES)),
+        "count_over_claim": framed(bytes([0xF2]) + uvarint(0)
+                                   + uvarint(MAX_SACK_RANGES + 1)),
     },
     "checkpoint": {
         "minimal_2site": notifier_bundle(
