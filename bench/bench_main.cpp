@@ -15,9 +15,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "engine/message.hpp"
+#include "engine/reliable_link.hpp"
+#include "runtime/pipeline.hpp"
+#include "runtime/threaded_star.hpp"
 #include "sim/chaos.hpp"
 #include "sim/runner.hpp"
 #include "util/metrics.hpp"
@@ -131,6 +137,119 @@ RepeatResult bench_notifier_throughput(bool smoke) {
   r.add("prop_p50_ms", rep.propagation_p50_ms);
   r.add("prop_p99_ms", rep.propagation_p99_ms);
   r.add("converged", rep.converged ? 1.0 : 0.0);
+  return r;
+}
+
+/// E9 on the threaded backend: a closed-loop session with real client
+/// threads against the pipelined notifier (docs/THREADING.md §5).
+/// Wall time is scheduler-dependent, so only wall_ms and ops_per_wall_sec
+/// vary between runs; ops and convergence are pinned.
+RepeatResult bench_notifier_throughput_threaded(bool smoke) {
+  RepeatResult r;
+  runtime::ThreadedStarConfig cfg;
+  cfg.num_sites = smoke ? 4 : 8;
+  cfg.ops_per_site = smoke ? 50 : 400;
+  cfg.initial_doc = "the quick brown fox jumps over the lazy dog";
+  cfg.engine.log_verdicts = false;
+  cfg.engine.gc_history = true;
+  cfg.seed = 1409;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto rep = runtime::run_threaded_star(cfg);
+  const double wall = wall_ms_since(t0);
+  r.add_u64("ops", rep.ops_submitted);
+  r.add("ops_per_wall_sec",
+        wall > 0.0 ? static_cast<double>(rep.ops_submitted) / wall * 1000.0
+                   : 0.0);
+  r.add_u64("batches", rep.batches_delivered);
+  r.add("converged", rep.converged ? 1.0 : 0.0);
+  return r;
+}
+
+/// Egress batching ablation (PROTOCOL.md §2.8): one recorded simulator
+/// downlink stream replayed through the pipeline with max_batch 1
+/// (degenerate, one message per frame) and 16, each frame wrapped in a
+/// real §2.6 DataFrame so the bytes/op reduction includes the per-frame
+/// seq/ack/CRC overhead batching amortizes.
+RepeatResult bench_egress_batching(bool smoke) {
+  RepeatResult r;
+  const std::size_t n = smoke ? 8 : 16;
+  engine::EngineConfig ecfg;
+  ecfg.log_verdicts = false;
+  ecfg.gc_history = true;
+
+  std::vector<std::pair<SiteId, net::Payload>> uplinks;
+  std::uint64_t ops = 0;
+  {
+    engine::StarSessionConfig cfg;
+    cfg.num_sites = n;
+    cfg.initial_doc = "group editors maintain replicated documents";
+    cfg.engine = ecfg;
+    cfg.seed = 1693;
+    auto session = std::make_unique<engine::StarSession>(cfg);
+    for (SiteId i = 1; i <= n; ++i) {
+      session->network()
+          .channel(i, kNotifierSite)
+          .set_receiver([&uplinks, &session, i](const net::Payload& b) {
+            uplinks.emplace_back(i, b);
+            session->notifier().on_client_message(i, b);
+          });
+    }
+    sim::WorkloadConfig w;
+    w.ops_per_site = smoke ? 30 : 100;
+    w.hotspot_prob = 0.3;
+    w.seed = 3386;
+    sim::StarWorkload workload(*session, w);
+    workload.start();
+    session->run_to_quiescence();
+    ops = workload.total_generated();
+  }
+
+  const auto replay = [&](std::size_t max_batch,
+                          const char* tag) -> std::uint64_t {
+    std::uint64_t frames = 0;
+    std::uint64_t framed_bytes = 0;
+    std::uint64_t msgs = 0;
+    std::vector<std::uint64_t> seq(n + 1, 0);
+    runtime::PipelineConfig pcfg;
+    pcfg.max_batch = max_batch;
+    pcfg.commit_order = runtime::CommitOrder::kPinned;
+    pcfg.flush = runtime::FlushPolicy::kFixed;
+    {
+      runtime::NotifierPipeline pipeline(
+          n, "group editors maintain replicated documents", ecfg,
+          [&](SiteId dest, net::Payload batch) {
+            frames += 1;
+            msgs += engine::decode_batch(batch).size();
+            engine::Frame f;
+            f.kind = engine::Frame::Kind::kData;
+            f.seq = ++seq[dest];
+            f.payload = std::move(batch);
+            framed_bytes += engine::encode_frame(f).size();
+          },
+          pcfg);
+      for (const auto& [from, bytes] : uplinks) {
+        pipeline.submit(from, net::Payload(bytes));
+      }
+      pipeline.drain();
+    }
+    r.add_u64((std::string(tag) + ".frames").c_str(), frames);
+    r.add_u64((std::string(tag) + ".framed_bytes").c_str(), framed_bytes);
+    r.add_u64((std::string(tag) + ".msgs").c_str(), msgs);
+    r.add((std::string(tag) + ".bytes_per_op").c_str(),
+          ops > 0 ? static_cast<double>(framed_bytes) /
+                        static_cast<double>(ops)
+                  : 0.0);
+    return framed_bytes;
+  };
+  const std::uint64_t unbatched = replay(1, "unbatched");
+  const std::uint64_t batched = replay(16, "batched");
+  r.add("bytes_reduction_pct",
+        unbatched > 0
+            ? 100.0 * (1.0 - static_cast<double>(batched) /
+                                 static_cast<double>(unbatched))
+            : 0.0);
+  r.add_u64("ops", ops);
   return r;
 }
 
@@ -266,6 +385,8 @@ struct Benchmark {
 constexpr Benchmark kBenchmarks[] = {
     {"timestamp_overhead", bench_timestamp_overhead},
     {"notifier_throughput", bench_notifier_throughput},
+    {"notifier_throughput_threaded", bench_notifier_throughput_threaded},
+    {"egress_batching", bench_egress_batching},
     {"fault_recovery", bench_fault_recovery},
     {"sack_vs_gbn", bench_sack_vs_gbn},
     {"failover_recovery", bench_failover_recovery},

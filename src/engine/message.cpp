@@ -16,6 +16,8 @@ constexpr std::uint8_t kTagCenter =
     static_cast<std::uint8_t>(wire::kCenterMsg.tag);
 constexpr std::uint8_t kTagLeave =
     static_cast<std::uint8_t>(wire::kLeaveMsg.tag);
+constexpr std::uint8_t kTagBatch =
+    static_cast<std::uint8_t>(wire::kEgressBatch.tag);
 
 void encode_stamp(const Stamp& stamp, StampMode mode, util::ByteSink& sink) {
   switch (mode) {
@@ -161,6 +163,48 @@ SiteId decode_leave(const net::Payload& bytes) {
     throw util::DecodeError("trailing bytes in leave message");
   }
   return site;
+}
+
+net::Payload encode_batch(const std::vector<net::Payload>& msgs) {
+  CCVC_CHECK_MSG(!msgs.empty(), "an egress batch carries at least one message");
+  util::ByteSink sink;
+  wire::Writer w(sink);
+  w.tag(wire::kEgressBatch);
+  w.count(wire::f::kBatchMsgs, msgs.size());
+  for (const net::Payload& m : msgs) {
+    CCVC_CHECK_MSG(!m.empty(), "batched messages are never empty");
+    w.blob(wire::f::kBatchPayload, m.data(), m.size());
+  }
+  return sink.bytes();
+}
+
+bool is_batch_msg(const net::Payload& bytes) {
+  return !bytes.empty() && bytes[0] == kTagBatch;
+}
+
+std::vector<net::Payload> decode_batch(const net::Payload& bytes) {
+  util::ByteSource src(bytes);
+  if (src.get_u8() != kTagBatch) {
+    throw util::DecodeError("not an egress batch");
+  }
+  wire::Reader r(src);
+  const std::uint64_t n = r.count(wire::f::kBatchMsgs);
+  if (n == 0) {
+    throw util::DecodeError("empty egress batch");
+  }
+  std::vector<net::Payload> msgs;
+  msgs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    net::Payload m = r.blob(wire::f::kBatchPayload);
+    if (m.empty()) {
+      throw util::DecodeError("empty message inside an egress batch");
+    }
+    msgs.push_back(std::move(m));
+  }
+  if (!src.exhausted()) {
+    throw util::DecodeError("trailing bytes in egress batch");
+  }
+  return msgs;
 }
 
 std::size_t stamp_wire_size(const Stamp& stamp, StampMode mode) {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "clocks/compressed_sv.hpp"
 #include "clocks/version_vector.hpp"
@@ -67,6 +68,22 @@ bool is_leave_msg(const net::Payload& bytes);
 
 /// Decodes a leave message, returning the departing site.
 SiteId decode_leave(const net::Payload& bytes);
+
+/// Coalesces complete downlink messages (each with its own §2 tag byte)
+/// into one 0xC5 EgressBatch frame for a single destination — the
+/// threaded runtime's batched egress (docs/PROTOCOL.md §2.8,
+/// docs/THREADING.md).  `msgs` must be non-empty, each payload
+/// non-empty, and at most wire::kMaxBatchMsgs entries.
+net::Payload encode_batch(const std::vector<net::Payload>& msgs);
+
+/// True if `bytes` is an egress batch frame (check before decoding the
+/// inner messages individually).
+bool is_batch_msg(const net::Payload& bytes);
+
+/// Splits a batch frame back into the coalesced message payloads, in
+/// order.  Rejects empty batches, empty entries, and trailing bytes —
+/// the canonical form is exactly what encode_batch emits.
+std::vector<net::Payload> decode_batch(const net::Payload& bytes);
 
 /// Encoded size of just the timestamp portion of a message in the given
 /// mode — used by E3 to separate clock overhead from op payload.

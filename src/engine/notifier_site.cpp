@@ -123,18 +123,36 @@ std::size_t NotifierSite::outgoing_count(SiteId client) const {
 }
 
 void NotifierSite::on_client_message(SiteId from, const net::Payload& bytes) {
-  CCVC_CHECK(from >= 1 && from <= num_sites_);
+  apply_uplink(parse_uplink(from, bytes, cfg_));
+}
+
+NotifierSite::ParsedUplink NotifierSite::parse_uplink(
+    SiteId from, const net::Payload& bytes, const EngineConfig& cfg) {
+  ParsedUplink parsed;
+  parsed.from = from;
   if (is_leave_msg(bytes)) {
     // In-band departure: FIFO guarantees every operation the site sent
     // beforehand has already been processed, so dropping it from the
     // acknowledgement bookkeeping is sound from here on.
     CCVC_CHECK_MSG(decode_leave(bytes) == from,
                    "leave arrived on the wrong channel");
+    parsed.leave = true;
+    return parsed;
+  }
+  parsed.msg = decode_client_msg(bytes, cfg.stamp_mode);
+  CCVC_CHECK_MSG(parsed.msg.id.site == from,
+                 "message arrived on the wrong channel");
+  return parsed;
+}
+
+void NotifierSite::apply_uplink(ParsedUplink parsed) {
+  const SiteId from = parsed.from;
+  CCVC_CHECK(from >= 1 && from <= num_sites_);
+  if (parsed.leave) {
     remove_site(from);
     return;
   }
-  ClientMsg msg = decode_client_msg(bytes, cfg_.stamp_mode);
-  CCVC_CHECK_MSG(msg.id.site == from, "message arrived on the wrong channel");
+  ClientMsg msg = std::move(parsed.msg);
 
   // §4.2 — concurrency check of the incoming Oa (2-element stamp)
   // against every buffered operation (full-vector stamp), formula (7).

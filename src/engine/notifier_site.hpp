@@ -51,8 +51,31 @@ class NotifierSite {
                EngineObserver* observer = nullptr);
 
   /// Handles one message from client `from` (install as the receiving
-  /// channel's callback, bound per client).
+  /// channel's callback, bound per client).  Equivalent to
+  /// apply_uplink(parse_uplink(from, bytes, cfg)).
   void on_client_message(SiteId from, const net::Payload& bytes);
+
+  /// A decoded, channel-validated uplink message: the output of the
+  /// stateless parse stage and the input of the stateful single-writer
+  /// stage.  The threaded runtime's ingress shards run parse_uplink
+  /// concurrently; apply_uplink always runs on exactly one thread
+  /// (docs/THREADING.md, docs/CONCURRENCY.md).
+  struct ParsedUplink {
+    SiteId from = 0;
+    bool leave = false;
+    ClientMsg msg;  // meaningless when leave
+  };
+
+  /// Stateless decode + wrong-channel validation of one uplink payload.
+  /// Touches no NotifierSite state, so any thread may call it.
+  static ParsedUplink parse_uplink(SiteId from, const net::Payload& bytes,
+                                   const EngineConfig& cfg);
+
+  /// The stateful remainder of on_client_message: formula-(7)
+  /// concurrency check, bridge ack-drop, transformation, eq. (1)-(2)
+  /// stamping, and broadcast.  Single-writer — never called from two
+  /// threads concurrently.
+  void apply_uplink(ParsedUplink parsed);
 
   /// Everything a late joiner needs to enter the session consistently:
   /// its id, the document snapshot, and how many center operations that

@@ -1,0 +1,28 @@
+// Spin-then-yield-then-sleep waiting, shared by every pipeline stage
+// and the closed-loop runtime's client threads.  Correctness never
+// depends on timing — backoff only trades CPU for latency while a ring
+// is momentarily full or empty.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+namespace ccvc::runtime {
+
+class Backoff {
+ public:
+  void pause() {
+    ++spins_;
+    if (spins_ < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  void reset() { spins_ = 0; }
+
+ private:
+  int spins_ = 0;
+};
+
+}  // namespace ccvc::runtime

@@ -1,0 +1,36 @@
+#include "runtime/batch.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/metrics.hpp"
+#include "wire/schema.hpp"
+
+namespace ccvc::runtime {
+
+BatchAssembler::BatchAssembler(std::size_t max_batch)
+    : max_batch_(max_batch) {
+  CCVC_CHECK_MSG(max_batch >= 1 && max_batch <= wire::kMaxBatchMsgs,
+                 "max_batch must be in [1, wire::kMaxBatchMsgs]");
+  msgs_.reserve(max_batch);
+}
+
+bool BatchAssembler::add(net::Payload msg) {
+  CCVC_CHECK_MSG(msgs_.size() < max_batch_,
+                 "assembler is full — flush before adding");
+  msgs_.push_back(std::move(msg));
+  return msgs_.size() == max_batch_;
+}
+
+net::Payload BatchAssembler::flush() {
+  CCVC_CHECK_MSG(!msgs_.empty(), "nothing to flush");
+  net::Payload frame = engine::encode_batch(msgs_);
+  CCVC_METRIC_COUNT("engine.batch.flushes", 1);
+  CCVC_METRIC_COUNT("engine.batch.msgs", msgs_.size());
+  CCVC_METRIC_HIST("engine.batch.occupancy", msgs_.size());
+  CCVC_METRIC_HIST("engine.batch.bytes", frame.size());
+  msgs_.clear();
+  return frame;
+}
+
+}  // namespace ccvc::runtime

@@ -1,0 +1,44 @@
+// Per-destination egress batch assembly (docs/PROTOCOL.md §2.8).
+//
+// The transform stage hands every broadcast payload to the
+// destination's assembler instead of the channel; the assembler
+// coalesces them, in order, into one 0xC5 EgressBatch frame per flush.
+// Flush triggers (docs/THREADING.md):
+//  * the max-batch bound — add() reports when the batch is full;
+//  * a tick boundary / drain — the pipeline calls flush() explicitly.
+//
+// Single-writer: only the pipeline's transform stage touches an
+// assembler, so there is no locking here.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "engine/message.hpp"
+#include "net/channel.hpp"
+
+namespace ccvc::runtime {
+
+class BatchAssembler {
+ public:
+  /// `max_batch` must be in [1, wire::kMaxBatchMsgs].
+  explicit BatchAssembler(std::size_t max_batch);
+
+  /// Appends one complete downlink message; true when the batch just
+  /// reached the max-batch bound (the caller must flush before adding
+  /// more).
+  bool add(net::Payload msg);
+
+  bool empty() const { return msgs_.empty(); }
+  std::size_t size() const { return msgs_.size(); }
+
+  /// Encodes everything pending into one EgressBatch frame, records the
+  /// engine.batch.* instruments, and clears.  Never called empty.
+  net::Payload flush();
+
+ private:
+  std::size_t max_batch_;
+  std::vector<net::Payload> msgs_;
+};
+
+}  // namespace ccvc::runtime

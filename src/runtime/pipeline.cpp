@@ -1,0 +1,226 @@
+#include "runtime/pipeline.hpp"
+
+#include <chrono>
+#include <map>
+#include <utility>
+
+#include "runtime/backoff.hpp"
+#include "util/check.hpp"
+#include "util/metrics.hpp"
+
+namespace ccvc::runtime {
+
+namespace {
+
+std::uint64_t wall_us_since(std::chrono::steady_clock::time_point t0) {
+  // Real wall time: the documented exception to the simulated-time rule
+  // (docs/OBSERVABILITY.md §2) — threaded stages have no sim clock.
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
+NotifierPipeline::NotifierPipeline(std::size_t num_sites,
+                                   std::string_view initial_doc,
+                                   const engine::EngineConfig& cfg,
+                                   EgressFn egress,
+                                   const PipelineConfig& pcfg)
+    : num_sites_(num_sites),
+      cfg_(cfg),
+      pcfg_(pcfg),
+      egress_(std::move(egress)),
+      central_(pcfg.ring_capacity),
+      egress_ring_(pcfg.ring_capacity) {
+  CCVC_CHECK(static_cast<bool>(egress_));
+  CCVC_CHECK_MSG(pcfg_.num_shards >= 1, "at least one ingress shard");
+  site_ = std::make_unique<engine::NotifierSite>(
+      num_sites_, initial_doc, cfg_,
+      [this](SiteId dest, net::Payload bytes) {
+        on_broadcast(dest, std::move(bytes));
+      });
+  assemblers_.reserve(num_sites_ + 1);
+  for (std::size_t i = 0; i <= num_sites_; ++i) {
+    assemblers_.emplace_back(pcfg_.max_batch);
+  }
+  shard_rings_.reserve(pcfg_.num_shards);
+  for (std::size_t s = 0; s < pcfg_.num_shards; ++s) {
+    shard_rings_.push_back(
+        std::make_unique<BoundedRing<RawItem>>(pcfg_.ring_capacity));
+  }
+  threads_.reserve(pcfg_.num_shards + 2);
+  for (std::size_t s = 0; s < pcfg_.num_shards; ++s) {
+    threads_.emplace_back([this, s] { shard_loop(s); });
+  }
+  threads_.emplace_back([this] { transform_loop(); });
+  threads_.emplace_back([this] { egress_loop(); });
+}
+
+NotifierPipeline::~NotifierPipeline() { shutdown(); }
+
+std::uint64_t NotifierPipeline::submitted() const {
+  return submitted_.load(std::memory_order_acquire);
+}
+
+std::uint64_t NotifierPipeline::committed() const {
+  return committed_.load(std::memory_order_acquire);
+}
+
+std::uint64_t NotifierPipeline::submit(SiteId from, net::Payload bytes) {
+  const std::uint64_t ticket =
+      submitted_.fetch_add(1, std::memory_order_acq_rel);
+  CCVC_METRIC_COUNT("runtime.ingress.submitted", 1);
+  RawItem item{ticket, from, std::move(bytes)};
+  BoundedRing<RawItem>& ring = *shard_rings_[from % pcfg_.num_shards];
+  Backoff bo;
+  while (!ring.try_push(std::move(item))) bo.pause();
+  return ticket;
+}
+
+void NotifierPipeline::shard_loop(std::size_t shard) {
+  BoundedRing<RawItem>& ring = *shard_rings_[shard];
+  Backoff bo;
+  for (;;) {
+    RawItem raw;
+    if (ring.try_pop(raw)) {
+      bo.reset();
+      const auto t0 = std::chrono::steady_clock::now();
+      ParsedItem item;
+      item.ticket = raw.ticket;
+      item.parsed =
+          engine::NotifierSite::parse_uplink(raw.from, raw.bytes, cfg_);
+      CCVC_METRIC_HIST("runtime.stage.ingress_us", wall_us_since(t0));
+      Backoff push_bo;
+      while (!central_.try_push(std::move(item))) push_bo.pause();
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    bo.pause();
+  }
+}
+
+void NotifierPipeline::transform_loop() {
+  std::map<std::uint64_t, engine::NotifierSite::ParsedUplink> reorder;
+  std::uint64_t next = 0;
+  Backoff bo;
+  for (;;) {
+    ParsedItem item;
+    if (central_.try_pop(item)) {
+      bo.reset();
+      CCVC_METRIC_GAUGE_SET("runtime.ring.depth", central_.approx_size());
+      if (pcfg_.commit_order == CommitOrder::kPinned) {
+        if (item.ticket == next) {
+          commit(std::move(item.parsed));
+          ++next;
+          while (!reorder.empty() && reorder.begin()->first == next) {
+            commit(std::move(reorder.begin()->second));
+            reorder.erase(reorder.begin());
+            ++next;
+          }
+        } else {
+          reorder.emplace(item.ticket, std::move(item.parsed));
+        }
+        CCVC_METRIC_GAUGE_SET("runtime.reorder.held", reorder.size());
+      } else {
+        commit(std::move(item.parsed));
+      }
+      continue;
+    }
+    // Central ring empty: a tick boundary.
+    const bool quiet = committed_.load(std::memory_order_acquire) ==
+                       submitted_.load(std::memory_order_acquire);
+    const bool draining = drain_requested_.load(std::memory_order_acquire);
+    if (pending_batched_.load(std::memory_order_acquire) > 0 &&
+        (pcfg_.flush == FlushPolicy::kAdaptive || (draining && quiet))) {
+      flush_all();
+    }
+    if (draining && quiet) notify_drain();
+    if (stop_.load(std::memory_order_acquire) && quiet) return;
+    bo.pause();
+  }
+}
+
+void NotifierPipeline::egress_loop() {
+  Backoff bo;
+  for (;;) {
+    EgressItem item;
+    if (egress_ring_.try_pop(item)) {
+      bo.reset();
+      egress_(item.dest, std::move(item.bytes));
+      egress_inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      notify_drain();
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire) &&
+        egress_inflight_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    bo.pause();
+  }
+}
+
+void NotifierPipeline::commit(engine::NotifierSite::ParsedUplink parsed) {
+  const auto t0 = std::chrono::steady_clock::now();
+  site_->apply_uplink(std::move(parsed));
+  CCVC_METRIC_COUNT("runtime.commits", 1);
+  CCVC_METRIC_HIST("runtime.stage.commit_us", wall_us_since(t0));
+  committed_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void NotifierPipeline::on_broadcast(SiteId dest, net::Payload bytes) {
+  // Runs on the transform thread, inside apply_uplink's broadcast loop.
+  pending_batched_.fetch_add(1, std::memory_order_acq_rel);
+  if (assemblers_[dest].add(std::move(bytes))) flush_dest(dest);
+}
+
+void NotifierPipeline::flush_dest(SiteId dest) {
+  const std::int64_t n = static_cast<std::int64_t>(assemblers_[dest].size());
+  EgressItem item{dest, assemblers_[dest].flush()};
+  // inflight rises before pending falls so drained() never observes a
+  // frame that is in neither count.
+  egress_inflight_.fetch_add(1, std::memory_order_acq_rel);
+  pending_batched_.fetch_sub(n, std::memory_order_acq_rel);
+  Backoff bo;
+  while (!egress_ring_.try_push(std::move(item))) bo.pause();
+}
+
+void NotifierPipeline::flush_all() {
+  for (SiteId dest = 1; dest <= num_sites_; ++dest) {
+    if (!assemblers_[dest].empty()) flush_dest(dest);
+  }
+}
+
+bool NotifierPipeline::drained() const {
+  return committed_.load(std::memory_order_acquire) ==
+             submitted_.load(std::memory_order_acquire) &&
+         pending_batched_.load(std::memory_order_acquire) == 0 &&
+         egress_inflight_.load(std::memory_order_acquire) == 0;
+}
+
+void NotifierPipeline::notify_drain() {
+  if (!drain_requested_.load(std::memory_order_acquire)) return;
+  {
+    // Lock/unlock pairs the notify with the waiter's predicate check.
+    const std::lock_guard<std::mutex> lock(drain_mu_);
+  }
+  drain_cv_.notify_all();
+}
+
+void NotifierPipeline::drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_requested_.store(true, std::memory_order_release);
+  drain_cv_.wait(lock, [this] { return drained(); });
+  drain_requested_.store(false, std::memory_order_release);
+}
+
+void NotifierPipeline::shutdown() {
+  if (threads_.empty()) return;
+  drain();
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+}
+
+}  // namespace ccvc::runtime

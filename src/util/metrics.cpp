@@ -4,6 +4,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "util/check.hpp"
 
@@ -13,8 +14,11 @@ namespace {
 
 // One sorted map per kind.  unique_ptr payloads give the reference
 // stability the resolve-once macros rely on; std::map gives snapshots
-// their deterministic name order for free.
+// their deterministic name order for free.  The mutex guards the maps
+// (registration, snapshot, reset) — instrument updates themselves are
+// lock-free atomics and never touch it.
 struct Registry {
+  std::mutex mu;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
@@ -41,6 +45,7 @@ T& lookup(std::map<std::string, std::unique_ptr<T>, std::less<>>& kind,
   CCVC_CHECK_MSG(valid_name(name),
                  "metric name must match ^[a-z0-9_.]+$ "
                  "(docs/OBSERVABILITY.md naming scheme)");
+  const std::lock_guard<std::mutex> lock(registry().mu);
   auto it = kind.find(name);
   if (it == kind.end()) {
     it = kind.emplace(std::string(name), std::make_unique<T>()).first;
@@ -55,11 +60,26 @@ void append_json_u64(std::string& out, std::uint64_t v) {
 }  // namespace
 
 void Histogram::record(std::uint64_t v) {
-  count_ += 1;
-  sum_ += v;
-  if (count_ == 1 || v < min_) min_ = v;
-  if (v > max_) max_ = v;
-  buckets_[static_cast<std::size_t>(std::bit_width(v))] += 1;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t seen_min = min_.load(std::memory_order_relaxed);
+  while (v < seen_min && !min_.compare_exchange_weak(
+                             seen_min, v, std::memory_order_relaxed)) {
+  }
+  std::uint64_t seen_max = max_.load(std::memory_order_relaxed);
+  while (v > seen_max && !max_.compare_exchange_weak(
+                             seen_max, v, std::memory_order_relaxed)) {
+  }
+  buckets_[static_cast<std::size_t>(std::bit_width(v))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::buckets() const {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 std::uint64_t Histogram::bucket_limit(std::size_t i) {
@@ -67,7 +87,14 @@ std::uint64_t Histogram::bucket_limit(std::size_t i) {
   return std::uint64_t{1} << i;
 }
 
-void Histogram::reset() { *this = Histogram{}; }
+void Histogram::reset() {
+  // Member-wise: atomics are not copy-assignable, so no `*this = {}`.
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(kNoMin, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
 
 Counter& counter(std::string_view name) {
   return lookup(registry().counters, name);
@@ -80,37 +107,51 @@ Histogram& histogram(std::string_view name) {
 }
 
 void reset() {
-  for (auto& [name, c] : registry().counters) c->value = 0;
-  for (auto& [name, g] : registry().gauges) *g = Gauge{};
-  for (auto& [name, h] : registry().histograms) h->reset();
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, c] : r.counters) {
+    c->value.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, g] : r.gauges) {
+    g->value.store(0, std::memory_order_relaxed);
+    g->watermark.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, h] : r.histograms) h->reset();
 }
 
 std::size_t instrument_count() {
-  const Registry& r = registry();
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
   return r.counters.size() + r.gauges.size() + r.histograms.size();
 }
 
 std::string snapshot_text() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
   std::string out;
-  for (const auto& [name, c] : registry().counters) {
+  for (const auto& [name, c] : r.counters) {
     out.append("counter ").append(name).append(" ");
-    out.append(std::to_string(c->value)).append("\n");
+    out.append(std::to_string(c->value.load(std::memory_order_relaxed)));
+    out.append("\n");
   }
-  for (const auto& [name, g] : registry().gauges) {
+  for (const auto& [name, g] : r.gauges) {
     out.append("gauge ").append(name).append(" ");
-    out.append(std::to_string(g->value)).append(" watermark ");
-    out.append(std::to_string(g->watermark)).append("\n");
+    out.append(std::to_string(g->value.load(std::memory_order_relaxed)));
+    out.append(" watermark ");
+    out.append(std::to_string(g->watermark.load(std::memory_order_relaxed)));
+    out.append("\n");
   }
-  for (const auto& [name, h] : registry().histograms) {
+  for (const auto& [name, h] : r.histograms) {
+    const auto buckets = h->buckets();
     out.append("hist ").append(name);
     out.append(" count ").append(std::to_string(h->count()));
     out.append(" sum ").append(std::to_string(h->sum()));
     out.append(" min ").append(std::to_string(h->min()));
     out.append(" max ").append(std::to_string(h->max()));
     for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
-      if (h->buckets()[i] != 0) {
+      if (buckets[i] != 0) {
         out.append(" b").append(std::to_string(i));
-        out.append(":").append(std::to_string(h->buckets()[i]));
+        out.append(":").append(std::to_string(buckets[i]));
       }
     }
     out.append("\n");
@@ -121,27 +162,31 @@ std::string snapshot_text() {
 std::string snapshot_json() {
   // Metric names are constrained to [a-z0-9_.], so no JSON escaping is
   // ever needed and the output is a pure function of registry state.
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
   std::string out = "{\"counters\":{";
   bool first = true;
-  for (const auto& [name, c] : registry().counters) {
+  for (const auto& [name, c] : r.counters) {
     if (!first) out.append(",");
     first = false;
     out.append("\"").append(name).append("\":");
-    append_json_u64(out, c->value);
+    append_json_u64(out, c->value.load(std::memory_order_relaxed));
   }
   out.append("},\"gauges\":{");
   first = true;
-  for (const auto& [name, g] : registry().gauges) {
+  for (const auto& [name, g] : r.gauges) {
     if (!first) out.append(",");
     first = false;
     out.append("\"").append(name).append("\":{\"value\":");
-    out.append(std::to_string(g->value));
-    out.append(",\"watermark\":").append(std::to_string(g->watermark));
+    out.append(std::to_string(g->value.load(std::memory_order_relaxed)));
+    out.append(",\"watermark\":");
+    out.append(std::to_string(g->watermark.load(std::memory_order_relaxed)));
     out.append("}");
   }
   out.append("},\"histograms\":{");
   first = true;
-  for (const auto& [name, h] : registry().histograms) {
+  for (const auto& [name, h] : r.histograms) {
+    const auto buckets = h->buckets();
     if (!first) out.append(",");
     first = false;
     out.append("\"").append(name).append("\":{\"count\":");
@@ -155,11 +200,11 @@ std::string snapshot_json() {
     out.append(",\"buckets\":{");
     bool first_bucket = true;
     for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
-      if (h->buckets()[i] == 0) continue;
+      if (buckets[i] == 0) continue;
       if (!first_bucket) out.append(",");
       first_bucket = false;
       out.append("\"").append(std::to_string(i)).append("\":");
-      append_json_u64(out, h->buckets()[i]);
+      append_json_u64(out, buckets[i]);
     }
     out.append("}}");
   }

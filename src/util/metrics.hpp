@@ -5,9 +5,9 @@
 // Design constraints (docs/OBSERVABILITY.md):
 //
 //  * Hot-path cost is one function-local-static guard check plus a
-//    uint64_t bump — the CCVC_METRIC_* macros resolve the name to an
-//    instrument reference once, at the call site's first execution, and
-//    never allocate afterwards.
+//    relaxed uint64_t bump — the CCVC_METRIC_* macros resolve the name
+//    to an instrument reference once, at the call site's first
+//    execution, and never allocate afterwards.
 //  * Everything recorded is an integer (histogram inputs included), so a
 //    snapshot of a seeded simulation is byte-identical across runs and
 //    platforms — no floating-point accumulation order to worry about.
@@ -17,13 +17,22 @@
 //    that still syntax-checks (and "uses") its arguments; the registry
 //    itself stays linkable so mixed translation units agree.
 //
-// The registry is single-threaded by design, like the simulator it
-// instruments (net/event_queue.hpp): no atomics, no locks.
+// Instruments are thread-safe so the threaded runtime backend
+// (src/runtime/, docs/THREADING.md) can record from its pipeline stages:
+// every update is a relaxed atomic operation (watermark/min/max via CAS
+// loops), and the registry map itself is mutex-guarded on the cold
+// lookup/snapshot/reset paths only.  Relaxed ordering is sufficient
+// because instruments are independent monotone accumulators — snapshots
+// taken while threads are quiescent (how bench_main and the equivalence
+// harness use them) observe exact totals, and single-threaded simulator
+// runs remain byte-deterministic exactly as before.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <string_view>
 
@@ -31,21 +40,35 @@ namespace ccvc::util::metrics {
 
 /// Monotonically increasing event count.
 struct Counter {
-  std::uint64_t value = 0;
+  std::atomic<std::uint64_t> value{0};
 
-  void inc(std::uint64_t n = 1) { value += n; }
+  void inc(std::uint64_t n = 1) {
+    value.fetch_add(n, std::memory_order_relaxed);
+  }
 };
 
 /// Last-written level plus its high watermark (e.g. queue depth).
 struct Gauge {
-  std::int64_t value = 0;
-  std::int64_t watermark = 0;
+  std::atomic<std::int64_t> value{0};
+  std::atomic<std::int64_t> watermark{0};
 
   void set(std::int64_t v) {
-    value = v;
-    if (v > watermark) watermark = v;
+    value.store(v, std::memory_order_relaxed);
+    raise_watermark(v);
   }
-  void add(std::int64_t delta) { set(value + delta); }
+  void add(std::int64_t delta) {
+    const std::int64_t v =
+        value.fetch_add(delta, std::memory_order_relaxed) + delta;
+    raise_watermark(v);
+  }
+
+ private:
+  void raise_watermark(std::int64_t v) {
+    std::int64_t seen = watermark.load(std::memory_order_relaxed);
+    while (v > seen && !watermark.compare_exchange_weak(
+                           seen, v, std::memory_order_relaxed)) {
+    }
+  }
 };
 
 /// Fixed power-of-two bucket histogram for sizes and latencies.
@@ -54,20 +77,26 @@ struct Gauge {
 /// v == 0 and bucket i ≥ 1 holds v in [2^(i-1), 2^i).  The layout needs
 /// no per-instrument configuration, covers the full uint64_t range, and
 /// stays exact-integer (deterministic snapshots).  Latencies are
-/// recorded in integer microseconds of simulated time.
+/// recorded in integer microseconds of simulated time (threaded-runtime
+/// stage latencies are the documented wall-clock exception —
+/// docs/OBSERVABILITY.md §2).
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 65;  // bit_width(v) in [0, 64]
 
   void record(std::uint64_t v);
 
-  std::uint64_t count() const { return count_; }
-  std::uint64_t sum() const { return sum_; }
-  std::uint64_t min() const { return count_ ? min_ : 0; }
-  std::uint64_t max() const { return max_; }
-  const std::array<std::uint64_t, kBuckets>& buckets() const {
-    return buckets_;
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
   }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t min() const {
+    return count() ? min_.load(std::memory_order_relaxed) : 0;
+  }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  /// Loaded copy (plain integers) — safe to iterate while other threads
+  /// record; each cell is individually consistent.
+  std::array<std::uint64_t, kBuckets> buckets() const;
 
   /// Upper bound (exclusive) of bucket i: 2^i, saturated at uint64 max.
   static std::uint64_t bucket_limit(std::size_t i);
@@ -75,11 +104,14 @@ class Histogram {
   void reset();
 
  private:
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t min_ = 0;
-  std::uint64_t max_ = 0;
-  std::array<std::uint64_t, kBuckets> buckets_{};
+  static constexpr std::uint64_t kNoMin =
+      std::numeric_limits<std::uint64_t>::max();
+
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{kNoMin};
+  std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
 };
 
 /// Looks up (registering on first use) the named instrument.  Names must

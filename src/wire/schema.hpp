@@ -2,7 +2,8 @@
 //
 // Every message and sub-record that crosses a byte boundary (the
 // paper's eq. (1)-(2) stamped messages 0xC1/0xC2, the mesh baseline
-// 0xC3, leave 0xC4, checkpoints 0xD1-0xD4, standby replication
+// 0xC3, leave 0xC4, the batched egress frame 0xC5, checkpoints
+// 0xD1-0xD4, standby replication
 // 0xE0/0xE1, reliability frames 0xF0-0xF2) is described exactly once
 // here as a constexpr
 // field-descriptor table: tag, field name, kind, and a mandatory
@@ -120,6 +121,10 @@ inline constexpr std::uint64_t kMaxLinkEntries = 1ull << 20;
 /// holes reports the lowest ones (the sender's cumulative cursor heals
 /// the rest on later frames).
 inline constexpr std::uint64_t kMaxSackRanges = 256;
+/// One batched egress frame coalesces at most this many §2 messages for
+/// a single destination; the batch assembler flushes at the bound
+/// (docs/PROTOCOL.md §2.8, docs/THREADING.md).
+inline constexpr std::uint64_t kMaxBatchMsgs = 256;
 inline constexpr int kMaxNesting = 12;
 
 // ---------------------------------------------------------------------------
@@ -336,6 +341,14 @@ inline constexpr MessageDesc kBlob{
     "Blob", kNoTag, kBlobFields, 1,
     "length-prefixed nested checkpoint blob", "§2.5"};
 
+inline constexpr FieldDesc kBatchEntryFields[] = {
+    {.name = "payload", .kind = FieldKind::kBytes, .bound = kMaxFramePayload,
+     .note = "one complete §2 message (tag byte included), non-empty"},
+};
+inline constexpr MessageDesc kBatchEntry{
+    "BatchEntry", kNoTag, kBatchEntryFields, 1,
+    "one coalesced downlink message inside an egress batch", "§2.8"};
+
 // ---------------------------------------------------------------------------
 // Tagged top-level messages.
 // ---------------------------------------------------------------------------
@@ -374,6 +387,17 @@ inline constexpr FieldDesc kLeaveMsgFields[] = {
 inline constexpr MessageDesc kLeaveMsg{
     "LeaveMsg", 0xC4, kLeaveMsgFields, 1,
     "site i → notifier: in-band FIFO departure", "§2.3"};
+
+inline constexpr FieldDesc kEgressBatchFields[] = {
+    {.name = "msgs",
+     .kind = FieldKind::kRepeated,
+     .bound = kMaxBatchMsgs,
+     .nested = &kBatchEntry,
+     .note = "at least one entry; channel arrival order"},
+};
+inline constexpr MessageDesc kEgressBatch{
+    "EgressBatch", 0xC5, kEgressBatchFields, 1,
+    "notifier → site i: one tick's broadcasts, coalesced", "§2.8"};
 
 inline constexpr FieldDesc kClientCheckpointFields[] = {
     {.name = "id", .kind = FieldKind::kUvarint32, .bound = kU32Max},
@@ -527,8 +551,9 @@ inline constexpr const MessageDesc* kRegistry[] = {
     &kSkTimestamp, &kWirePrimOp, &kWireOpList, &kCkptPrimOp, &kCkptOpList,
     &kClientHbEntry, &kClientPending, &kNotifierHbEntry, &kBridgeEntry,
     &kBridgeQueue, &kCounter, &kActiveFlag, &kLinkEntry, &kLinkState,
-    &kSackRange, &kBlob,
-    &kClientMsg, &kCenterMsg, &kMeshMsg, &kLeaveMsg, &kClientCheckpoint,
+    &kSackRange, &kBlob, &kBatchEntry,
+    &kClientMsg, &kCenterMsg, &kMeshMsg, &kLeaveMsg, &kEgressBatch,
+    &kClientCheckpoint,
     &kNotifierCheckpoint, &kSessionCheckpoint, &kNotifierBundle,
     &kReplicaCheckpoint, &kReplicaWalEntry, &kDataFrame, &kAckFrame,
     &kSackFrame,
@@ -576,6 +601,8 @@ inline constexpr const FieldDesc& kLinkAckDue = kLinkStateFields[2];
 inline constexpr const FieldDesc& kLinkUnacked = kLinkStateFields[3];
 inline constexpr const FieldDesc& kLinkOutOfOrder = kLinkStateFields[4];
 inline constexpr const FieldDesc& kLeaveSite = kLeaveMsgFields[0];
+inline constexpr const FieldDesc& kBatchMsgs = kEgressBatchFields[0];
+inline constexpr const FieldDesc& kBatchPayload = kBatchEntryFields[0];
 inline constexpr const FieldDesc& kCkptId = kClientCheckpointFields[0];
 inline constexpr const FieldDesc& kCkptNumSites = kClientCheckpointFields[1];
 inline constexpr const FieldDesc& kCkptDocument = kClientCheckpointFields[2];

@@ -1,0 +1,127 @@
+// The 0xC5 EgressBatch frame (PROTOCOL.md §2.8): golden-bytes pin,
+// round trips, and hostile-claim rejection at every declared bound.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/message.hpp"
+#include "util/check.hpp"
+#include "util/varint.hpp"
+#include "wire/schema.hpp"
+
+namespace {
+
+using namespace ccvc;
+
+std::string hex(const std::vector<std::uint8_t>& b) {
+  static const char* d = "0123456789abcdef";
+  std::string s;
+  s.reserve(b.size() * 2);
+  for (auto x : b) {
+    s.push_back(d[x >> 4]);
+    s.push_back(d[x & 0xf]);
+  }
+  return s;
+}
+
+std::vector<std::uint8_t> unhex(const std::string& s) {
+  std::vector<std::uint8_t> b;
+  for (std::size_t i = 0; i + 1 < s.size(); i += 2) {
+    b.push_back(
+        static_cast<std::uint8_t>(std::stoi(s.substr(i, 2), nullptr, 16)));
+  }
+  return b;
+}
+
+// Two real downlink payloads: the CenterMsg golden and a leave notice.
+std::vector<net::Payload> sample_msgs() {
+  return {unhex("c20102090402000103016101010001"), unhex("c405")};
+}
+
+TEST(GoldenBytes, EgressBatchFrame) {
+  EXPECT_EQ(hex(engine::encode_batch(sample_msgs())),
+            "c5020fc2010209040200010301610101000102c405");
+}
+
+TEST(EgressBatch, RoundTrip) {
+  const std::vector<net::Payload> msgs = sample_msgs();
+  const net::Payload frame = engine::encode_batch(msgs);
+  EXPECT_TRUE(engine::is_batch_msg(frame));
+  EXPECT_EQ(engine::decode_batch(frame), msgs);
+}
+
+TEST(EgressBatch, IsBatchMsgRejectsOtherTags) {
+  EXPECT_FALSE(engine::is_batch_msg(sample_msgs()[0]));
+  EXPECT_FALSE(engine::is_batch_msg(net::Payload{}));
+}
+
+TEST(EgressBatch, SingleMessageRoundTrip) {
+  const std::vector<net::Payload> msgs = {unhex("c405")};
+  EXPECT_EQ(engine::decode_batch(engine::encode_batch(msgs)), msgs);
+}
+
+TEST(EgressBatch, MaxBatchRoundTrip) {
+  std::vector<net::Payload> msgs(wire::kMaxBatchMsgs, unhex("c405"));
+  EXPECT_EQ(engine::decode_batch(engine::encode_batch(msgs)), msgs);
+}
+
+TEST(EgressBatch, EncodeEmptyIsContractViolation) {
+  EXPECT_THROW(engine::encode_batch({}), ContractViolation);
+}
+
+TEST(EgressBatch, EncodeOverBoundIsContractViolation) {
+  std::vector<net::Payload> msgs(wire::kMaxBatchMsgs + 1, unhex("c405"));
+  EXPECT_THROW(engine::encode_batch(msgs), ContractViolation);
+}
+
+TEST(EgressBatch, DecodeWrongTagRejected) {
+  EXPECT_THROW(engine::decode_batch(unhex("c405")), util::DecodeError);
+  EXPECT_THROW(engine::decode_batch(net::Payload{}), util::DecodeError);
+}
+
+TEST(BoundReject, EgressBatchHostileCountRejected) {
+  // The count is checked before any entry is materialized, so a hostile
+  // claim fails fast instead of allocating 2^60 payloads.
+  util::ByteSink sink;
+  sink.put_u8(0xC5);
+  sink.put_uvarint(wire::kMaxBatchMsgs + 1);  // hostile message count
+  EXPECT_THROW(engine::decode_batch(sink.bytes()), util::DecodeError);
+}
+
+TEST(BoundReject, EgressBatchZeroCountRejected) {
+  util::ByteSink sink;
+  sink.put_u8(0xC5);
+  sink.put_uvarint(0);  // a batch must carry at least one message
+  EXPECT_THROW(engine::decode_batch(sink.bytes()), util::DecodeError);
+}
+
+TEST(BoundReject, EgressBatchEmptyEntryRejected) {
+  util::ByteSink sink;
+  sink.put_u8(0xC5);
+  sink.put_uvarint(1);
+  sink.put_uvarint(0);  // zero-length inner message
+  EXPECT_THROW(engine::decode_batch(sink.bytes()), util::DecodeError);
+}
+
+TEST(BoundReject, EgressBatchHostileEntryLengthRejected) {
+  util::ByteSink sink;
+  sink.put_u8(0xC5);
+  sink.put_uvarint(1);
+  sink.put_uvarint(wire::kMaxFramePayload + 1);  // hostile length claim
+  EXPECT_THROW(engine::decode_batch(sink.bytes()), util::DecodeError);
+}
+
+TEST(BoundReject, EgressBatchTrailingBytesRejected) {
+  net::Payload frame = engine::encode_batch({unhex("c405")});
+  frame.push_back(0x00);
+  EXPECT_THROW(engine::decode_batch(frame), util::DecodeError);
+}
+
+TEST(BoundReject, EgressBatchTruncatedRejected) {
+  const net::Payload frame = engine::encode_batch(sample_msgs());
+  const net::Payload cut(frame.begin(), frame.end() - 1);
+  EXPECT_THROW(engine::decode_batch(cut), util::DecodeError);
+}
+
+}  // namespace

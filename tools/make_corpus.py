@@ -24,6 +24,8 @@ MAX_DELETE_COUNT = 1 << 20
 MAX_SITES = 1 << 20
 MAX_BLOB = 1 << 28
 MAX_SACK_RANGES = 256
+MAX_BATCH_MSGS = 256
+MAX_FRAME_PAYLOAD = 1 << 26
 U32_MAX = (1 << 32) - 1
 U64_MAX = (1 << 64) - 1
 
@@ -113,6 +115,12 @@ def raw_sack_frame(ack: int, pairs: list[tuple[int, int]]) -> bytes:
     for gap, ln in pairs:
         body += uvarint(gap) + uvarint(ln)
     return framed(body)
+
+
+def batch(msgs: list[bytes]) -> bytes:
+    """0xC5 EgressBatch: count + length-prefixed inner messages."""
+    return (bytes([0xC5]) + uvarint(len(msgs))
+            + b"".join(string(m) for m in msgs))
 
 
 def vv(values: list[int]) -> bytes:
@@ -272,6 +280,31 @@ SEEDS = {
                                     + uvarint(MAX_SACK_RANGES)),
         "count_over_claim": framed(bytes([0xF2]) + uvarint(0)
                                    + uvarint(MAX_SACK_RANGES + 1)),
+    },
+    "batch": {
+        "single_center": batch([
+            center_msg(1, 2, csv_stamp(9, 4),
+                       op_list(prim_insert(1, 3, b"a"),
+                               prim_delete(1, 0, 1))),
+        ]),
+        "tick_of_three": batch([
+            center_msg(1, 1, csv_stamp(1, 0),
+                       op_list(prim_insert(1, 0, b"hi"))),
+            center_msg(2, 1, csv_stamp(2, 0), op_list(prim_identity(2))),
+            leave_msg(3),
+        ]),
+        "leave_only": batch([leave_msg(5)]),
+        # Malformed shapes the decoder must reject: an empty batch, an
+        # empty inner message, and trailing bytes after the last entry.
+        "bad_empty_batch": bytes([0xC5]) + uvarint(0),
+        "bad_empty_entry": bytes([0xC5]) + uvarint(1) + uvarint(0),
+        "bad_trailing": batch([leave_msg(5)]) + b"\x00",
+        # Schema boundaries: message-count claims at and just past the
+        # declared kMaxBatchMsgs bound, plus a hostile entry length.
+        "count_bound_claim": bytes([0xC5]) + uvarint(MAX_BATCH_MSGS),
+        "count_over_claim": bytes([0xC5]) + uvarint(MAX_BATCH_MSGS + 1),
+        "entry_len_over_claim": bytes([0xC5]) + uvarint(1)
+        + uvarint(MAX_FRAME_PAYLOAD + 1),
     },
     "checkpoint": {
         "minimal_2site": notifier_bundle(
