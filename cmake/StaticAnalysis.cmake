@@ -102,6 +102,16 @@ if(Python3_Interpreter_FOUND)
             ${CMAKE_SOURCE_DIR} ${Python3_EXECUTABLE})
   set_tests_properties(ccvc_sa_mutation PROPERTIES LABELS "sa"
                        TIMEOUT 600)
+
+  # Per-checker fixture regressions (tests/sa/): good/bad mini-trees
+  # diffed against the checker registry, so a checker without fixture
+  # coverage fails structurally.
+  add_test(NAME ccvc_sa_selftest
+    COMMAND ${Python3_EXECUTABLE}
+            ${CMAKE_SOURCE_DIR}/tests/sa/sa_selftest.py
+            --root ${CMAKE_SOURCE_DIR})
+  set_tests_properties(ccvc_sa_selftest PROPERTIES LABELS "sa"
+                       TIMEOUT 300)
   message(STATUS "CCVC: cross-TU analyzer registered (ctest -L sa)")
 else()
   message(STATUS "CCVC: python3 not found; protocol linter and ccvc_sa "

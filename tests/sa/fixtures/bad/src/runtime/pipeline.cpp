@@ -1,0 +1,50 @@
+// Bad-tree fixture, concurrency/budget half: one seeded violation per
+// checker.  tests/sa/sa_selftest.py asserts the exact per-checker
+// finding counts (EXPECTED_BAD) — nothing more, nothing less:
+//
+//   * shared_counter_  plain write from ingress AND transform closures
+//                      (single-writer);
+//   * flag_.store(1)   atomic op with a defaulted order (atomics-order);
+//   * tmp.push_back    allocation on the submit path (hot-path-budget;
+//                      the staged HOTPATH.md is generated from this
+//                      tree, so only the op finding fires, not drift).
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace fx {
+
+class NotifierPipeline {
+ public:
+  std::uint64_t submit(int from);
+  void shard_loop(std::size_t shard);
+  void transform_loop();
+  void on_broadcast(int dest);
+  void egress_loop();
+
+ private:
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<int> flag_{0};
+  int shared_counter_ = 0;
+};
+
+std::uint64_t NotifierPipeline::submit(int from) {
+  std::vector<int> tmp;
+  tmp.push_back(from);
+  return submitted_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void NotifierPipeline::shard_loop(std::size_t shard) {
+  shared_counter_ += static_cast<int>(shard);
+}
+
+void NotifierPipeline::transform_loop() {
+  ++shared_counter_;
+  flag_.store(1);
+}
+
+void NotifierPipeline::on_broadcast(int dest) { (void)dest; }
+
+void NotifierPipeline::egress_loop() {}
+
+}  // namespace fx

@@ -1,0 +1,3 @@
+// Fixture placeholder: sa_schema.load_xref requires this file to
+// exist; an empty schema surface means no aliases and no xref errors.
+#pragma once

@@ -1,0 +1,85 @@
+// Good-tree fixture: a miniature threaded pipeline every ccvc_sa
+// checker must accept.  Each block is a near-miss for one checker —
+// close enough to its bad pattern that a precision regression (closure
+// over-merge, write misdetection, order mis-parse) turns this tree red:
+//
+//   * got_state_      plain write, but confined to the transform closure;
+//   * last_egress_    written from TWO closures, but mutex-guarded;
+//   * cold_/cold_path allocation + loop, but unreachable from the roots;
+//   * log_.push_back  real budget hit carrying a live allow() pragma;
+//   * every atomic op spells out its memory order.
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace fx {
+
+struct Ring {
+  bool try_pop(int& out);
+};
+
+class NotifierPipeline {
+ public:
+  std::uint64_t submit(int from);
+  void shard_loop(std::size_t shard);
+  void transform_loop();
+  void on_broadcast(int dest);
+  void egress_loop();
+  void cold_path();
+
+ private:
+  void note_egress(int dest);
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<int> stop_{0};
+  Ring central_;
+  std::mutex mu_;
+  int last_egress_ = 0;
+  int got_state_ = 0;
+  std::vector<int> cold_;
+  std::vector<int> log_;
+};
+
+std::uint64_t NotifierPipeline::submit(int from) {
+  return submitted_.fetch_add(1, std::memory_order_acq_rel) +
+         static_cast<std::uint64_t>(from);
+}
+
+void NotifierPipeline::shard_loop(std::size_t shard) {
+  int item = static_cast<int>(shard);
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (central_.try_pop(item)) continue;
+  }
+}
+
+void NotifierPipeline::transform_loop() {
+  // Plain unlocked write — legal because only the transform closure
+  // ever writes it.
+  got_state_ += 1;
+  on_broadcast(got_state_);
+}
+
+void NotifierPipeline::on_broadcast(int dest) { note_egress(dest); }
+
+void NotifierPipeline::egress_loop() {
+  note_egress(0);
+  // Deliberate, documented allocation: exercises the inline-pragma
+  // machinery on the good tree (must stay live-suppressed).
+  log_.push_back(1);  // ccvc-sa: allow(hot-path-budget)
+}
+
+void NotifierPipeline::note_egress(int dest) {
+  // Written from the transform AND egress closures — but every writer
+  // locks, which the single-writer checker must accept.
+  const std::lock_guard<std::mutex> lock(mu_);
+  last_egress_ = dest;
+}
+
+void NotifierPipeline::cold_path() {
+  // Unreachable from every hot-path/pipeline root: this allocation and
+  // loop must NOT be budget findings (closure precision).
+  for (std::size_t i = 0; i < 4; ++i) cold_.push_back(1);
+}
+
+}  // namespace fx

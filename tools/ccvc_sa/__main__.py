@@ -3,6 +3,8 @@
 Usage:
   python3 tools/ccvc_sa --check [--root DIR] [--checker NAME]
   python3 tools/ccvc_sa --emit-concurrency [--root DIR]
+  python3 tools/ccvc_sa --emit-atomics [--root DIR]
+  python3 tools/ccvc_sa --emit-hotpath [--root DIR]
   python3 tools/ccvc_sa --list
 
 Exit codes (matching ccvc_lint): 0 clean, 1 findings or dead
@@ -26,6 +28,9 @@ from sa_model import build_model                   # noqa: E402
 import check_wire_taint                            # noqa: E402,F401
 import check_exceptions                            # noqa: E402,F401
 import check_shared_state                          # noqa: E402,F401
+import check_single_writer                         # noqa: E402,F401
+import check_atomics_order                         # noqa: E402,F401
+import check_hot_path                              # noqa: E402,F401
 
 
 def main(argv: list[str]) -> int:
@@ -39,6 +44,10 @@ def main(argv: list[str]) -> int:
                          "suppression validation in this mode)")
     ap.add_argument("--emit-concurrency", action="store_true",
                     help="print the shared-state inventory markdown")
+    ap.add_argument("--emit-atomics", action="store_true",
+                    help="print the memory-order inventory markdown")
+    ap.add_argument("--emit-hotpath", action="store_true",
+                    help="print the hot-path budget markdown")
     ap.add_argument("--list", action="store_true",
                     help="list registered checkers")
     args = ap.parse_args(argv)
@@ -61,6 +70,12 @@ def main(argv: list[str]) -> int:
 
     if args.emit_concurrency:
         sys.stdout.write(check_shared_state.emit_concurrency(model))
+        return 0
+    if args.emit_atomics:
+        sys.stdout.write(check_atomics_order.emit_atomics(model))
+        return 0
+    if args.emit_hotpath:
+        sys.stdout.write(check_hot_path.emit_hotpath(model))
         return 0
 
     if not args.check:

@@ -1,12 +1,18 @@
 #!/usr/bin/env sh
 # Mutation corpus for `ccvc_sa --check`: the analyzer gate must pass on
 # a faithful copy of the tree and FAIL — with exactly the expected
-# finding — when one known-bad pattern per checker class is seeded:
+# finding(s) — when one known-bad pattern per checker class is seeded:
 #
 #   1. unguarded decoded count reaching an allocator   (wire-taint)
 #   2. decode path raising ContractViolation     (exception-discipline)
 #   3. new shared mutable touched by the hot path     (shared-state)
 #   4. dead entry in the suppression baseline       (engine liveness)
+#   5. transform-only state written from the ingress closure
+#                                                    (single-writer)
+#   6. atomic op with a defaulted memory order       (atomics-order)
+#   7. memory order changed under a stale ATOMICS.md (atomics drift)
+#   8. allocation seeded into the submit hot path + stale HOTPATH.md
+#                                                  (hot-path-budget)
 #
 # This is the self-validation the framework's approximations lean on:
 # a lexer or extractor regression that blinds a checker turns up here
@@ -26,6 +32,8 @@ stage() {
   cp -r "$ROOT/tools/ccvc_sa" "$TMP/tools/ccvc_sa"
   cp "$ROOT/docs/schema.json" "$TMP/docs/schema.json"
   cp "$ROOT/docs/CONCURRENCY.md" "$TMP/docs/CONCURRENCY.md"
+  cp "$ROOT/docs/ATOMICS.md" "$TMP/docs/ATOMICS.md"
+  cp "$ROOT/docs/HOTPATH.md" "$TMP/docs/HOTPATH.md"
 }
 
 run_sa() {
@@ -33,31 +41,35 @@ run_sa() {
     && status=0 || status=$?
 }
 
-# expect_finding <label> <must-appear-regex>
-expect_finding() {
+# expect_findings <label> <count> <must-appear-regex>...
+# The gate must fail with exactly <count> findings/errors, and every
+# given regex must match — nothing extra dragged in by the seed.
+expect_findings() {
+  label=$1; want=$2; shift 2
   run_sa
   if [ "$status" -eq 0 ]; then
-    echo "FAIL: gate accepted mutation: $1" >&2
+    echo "FAIL: gate accepted mutation: $label" >&2
     cat "$TMP/out.txt" >&2
     exit 1
   fi
-  if ! grep -q "$2" "$TMP/out.txt"; then
-    echo "FAIL: mutation $1 failed without the expected finding ($2):" >&2
-    cat "$TMP/out.txt" >&2
-    exit 1
-  fi
-  # Exactly the expected finding: one unsuppressed finding or error,
-  # nothing else dragged in by the seeded pattern.
+  for rx in "$@"; do
+    if ! grep -q "$rx" "$TMP/out.txt"; then
+      echo "FAIL: mutation $label failed without expected finding ($rx):" >&2
+      cat "$TMP/out.txt" >&2
+      exit 1
+    fi
+  done
   n_findings=$(grep -c '^src/\|^docs/\|^error:' "$TMP/out.txt" || true)
-  if [ "$n_findings" -ne 1 ]; then
-    echo "FAIL: mutation $1 produced $n_findings findings, want exactly 1:" >&2
+  if [ "$n_findings" -ne "$want" ]; then
+    echo "FAIL: mutation $label produced $n_findings findings," \
+         "want exactly $want:" >&2
     cat "$TMP/out.txt" >&2
     exit 1
   fi
-  echo "ok: mutation rejected with its expected finding: $1"
+  echo "ok: mutation rejected with its expected finding(s): $label"
 }
 
-# Control: the faithful copy passes.
+# Control A: the faithful copy passes.
 stage
 run_sa
 if [ "$status" -ne 0 ]; then
@@ -66,6 +78,19 @@ if [ "$status" -ne 0 ]; then
   exit 1
 fi
 echo "ok: clean tree passes the gate"
+
+# Control B: every registered checker also passes standalone (--checker
+# scoping must not break a checker's own preconditions, e.g. a doc gate
+# reading a file the full run would have validated first).
+for ck in $("$PY" "$TMP/tools/ccvc_sa" --list | cut -d: -f1); do
+  if ! "$PY" "$TMP/tools/ccvc_sa" --check --root "$TMP" --checker "$ck" \
+      > "$TMP/out.txt" 2>&1; then
+    echo "FAIL: checker $ck rejects the clean tree standalone:" >&2
+    cat "$TMP/out.txt" >&2
+    exit 1
+  fi
+done
+echo "ok: all checkers pass standalone on the clean tree"
 
 # Mutation 1 (wire-taint): a decoded count drives reserve() unguarded.
 stage
@@ -77,7 +102,7 @@ void sa_mutation_unguarded(util::ByteSource& src, std::vector<int>& out) {
 }
 }  // namespace ccvc::engine
 EOF
-expect_finding "unguarded decoded count" \
+expect_findings "unguarded decoded count" 1 \
   "wire-taint.*reserve in.*sa_mutation_unguarded"
 
 # Mutation 2 (exception-discipline): a decode rejection flips to
@@ -86,7 +111,7 @@ stage
 sed 's/throw util::DecodeError("not a notifier checkpoint bundle")/throw ContractViolation("not a notifier checkpoint bundle")/' \
   "$TMP/src/engine/snapshot.cpp" > "$TMP/src/engine/snapshot.cpp.new"
 mv "$TMP/src/engine/snapshot.cpp.new" "$TMP/src/engine/snapshot.cpp"
-expect_finding "decode path throwing ContractViolation" \
+expect_findings "decode path throwing ContractViolation" 1 \
   "exception-discipline.*decode_notifier_bundle.*ContractViolation"
 
 # Mutation 3 (shared-state): a new mutable global touched by the hot
@@ -99,14 +124,68 @@ if ! grep -q g_sa_mutation_total "$TMP/src/engine/notifier_site.cpp"; then
   echo "FAIL: mutation 3 seed did not apply (on_client_message moved?)" >&2
   exit 1
 fi
-expect_finding "unlisted shared mutable state" \
+expect_findings "unlisted shared mutable state" 1 \
   "shared-state.*drift"
 
 # Mutation 4 (suppression liveness): a baseline entry matching nothing.
 stage
 printf 'wire-taint|src/engine/got.cpp|taint:*bogus*\n' \
   >> "$TMP/tools/ccvc_sa/baseline.txt"
-expect_finding "dead suppression entry" \
+expect_findings "dead suppression entry" 1 \
   "error: dead suppression.*bogus"
+
+# Mutation 5 (single-writer): the ingress shard loop starts flushing
+# assemblers — transform-owned BatchAssembler state (msgs_) gains a
+# second writing thread closure.
+stage
+sed 's/engine::NotifierSite::parse_uplink(raw.from, raw.bytes, cfg_);/engine::NotifierSite::parse_uplink(raw.from, raw.bytes, cfg_);\n      if (raw.ticket == 0 \&\& !assemblers_[0].empty()) assemblers_[0].flush();/' \
+  "$TMP/src/runtime/pipeline.cpp" > "$TMP/src/runtime/pipeline.cpp.new"
+mv "$TMP/src/runtime/pipeline.cpp.new" "$TMP/src/runtime/pipeline.cpp"
+if ! grep -q 'assemblers_\[0\].flush' "$TMP/src/runtime/pipeline.cpp"; then
+  echo "FAIL: mutation 5 seed did not apply (shard_loop moved?)" >&2
+  exit 1
+fi
+expect_findings "transform state written from ingress closure" 1 \
+  "single-writer.*msgs_.*thread closures"
+
+# Mutation 6 (atomics-order): an atomic op with the order defaulted to
+# seq_cst instead of spelled out.
+stage
+cat >> "$TMP/src/runtime/pipeline.cpp" <<'EOF'
+namespace ccvc::runtime {
+std::atomic<int> g_sa_mutation_flag{0};
+void sa_mutation_defaulted() { g_sa_mutation_flag.store(1); }
+}  // namespace ccvc::runtime
+EOF
+expect_findings "defaulted memory order" 1 \
+  "atomics-order.*g_sa_mutation_flag.store.*no explicit memory_order"
+
+# Mutation 7 (atomics drift): a memory order changes in code while the
+# committed ATOMICS.md still documents the old one.
+stage
+sed 's/committed_.fetch_add(1, std::memory_order_acq_rel)/committed_.fetch_add(1, std::memory_order_relaxed)/' \
+  "$TMP/src/runtime/pipeline.cpp" > "$TMP/src/runtime/pipeline.cpp.new"
+mv "$TMP/src/runtime/pipeline.cpp.new" "$TMP/src/runtime/pipeline.cpp"
+if ! grep -q 'committed_.fetch_add(1, std::memory_order_relaxed)' \
+    "$TMP/src/runtime/pipeline.cpp"; then
+  echo "FAIL: mutation 7 seed did not apply (commit moved?)" >&2
+  exit 1
+fi
+expect_findings "order changed under stale ATOMICS.md" 1 \
+  "atomics-order.*ATOMICS.md does not match"
+
+# Mutation 8 (hot-path-budget): an allocation seeded into submit() —
+# both the allocation finding and the stale-HOTPATH.md drift must fire.
+stage
+sed 's/RawItem item{ticket, from, std::move(bytes)};/bytes.push_back(0);\n  RawItem item{ticket, from, std::move(bytes)};/' \
+  "$TMP/src/runtime/pipeline.cpp" > "$TMP/src/runtime/pipeline.cpp.new"
+mv "$TMP/src/runtime/pipeline.cpp.new" "$TMP/src/runtime/pipeline.cpp"
+if ! grep -q 'bytes.push_back(0);' "$TMP/src/runtime/pipeline.cpp"; then
+  echo "FAIL: mutation 8 seed did not apply (submit moved?)" >&2
+  exit 1
+fi
+expect_findings "allocation on the submit hot path" 2 \
+  "hot-path-budget.*submit.*bytes.push_back" \
+  "hot-path-budget.*HOTPATH.md does not match"
 
 echo "sa_mutation: all mutation classes rejected"
