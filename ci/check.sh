@@ -12,16 +12,18 @@
 #   7. chaos property suite under ASan+UBSan (fault injection + recovery)
 #   8. bench pipeline smoke: bench_main → bench_report.py (schema
 #      round-trip) + validation of the committed BENCH_results.json
+#      and of the committed perf history BENCH_trajectory.json
 #   9. bounded model checking: ccvc_mc exhaustive sweep + §6 ablation +
 #      formula-mutation self-validation, plus the `model` ctest label
 #  10. wire-schema gate: ccvc_schema --check (docs/schema.json,
 #      PROTOCOL.md table, fuzz dictionaries, boundary round-trips)
 #      plus the `schema` ctest label (golden bytes, bound rejects,
 #      negative compiles, --check mutation test)
-#  11. cross-TU dataflow gate: tools/ccvc_sa --check, all six checkers
-#      (wire-taint, exception-discipline, shared-state, single-writer,
-#      atomics-order, hot-path-budget; generated docs CONCURRENCY.md /
-#      ATOMICS.md / HOTPATH.md byte-gated) + tools/sa_mutation.sh
+#  11. cross-TU dataflow gate: tools/ccvc_sa --check, all eight
+#      checkers (wire-taint, exception-discipline, shared-state,
+#      single-writer, atomics-order, hot-path-budget, blocking-graph,
+#      liveness-discipline; generated docs CONCURRENCY.md / ATOMICS.md
+#      / HOTPATH.md / BLOCKING.md byte-gated) + tools/sa_mutation.sh
 #      corpus replay, plus the `sa` ctest label
 #  12. failover under ThreadSanitizer: the hot-standby replication,
 #      fail-stop, and promotion paths (engine failover tests, the
@@ -33,10 +35,18 @@
 #      (byte-identical snapshots vs the deterministic backend across
 #      seeds and N) plus the closed-loop chaos sweep on real threads
 #  14. concurrency-discipline & budget gates: the three PR 9 checkers
-#      run standalone (single-writer, atomics-order, hot-path-budget),
-#      both generated docs (docs/ATOMICS.md, docs/HOTPATH.md) verified
-#      byte-identical against fresh --emit output, and the per-checker
-#      fixture selftest (tests/sa/) replayed
+#      run as one comma-selected pass over a single parsed model
+#      (single-writer,atomics-order,hot-path-budget), both generated
+#      docs (docs/ATOMICS.md, docs/HOTPATH.md) verified byte-identical
+#      against fresh --emit output, and the per-checker fixture
+#      selftest (tests/sa/) replayed
+#  15. blocking-graph & liveness gates: the static wait-for graph over
+#      (thread closure × resource) edges proven acyclic, the
+#      unbounded-inbox / egress-never-blocks rules checked as edge
+#      absences, liveness discipline (predicate cv waits with reaching
+#      notifies, flag-consulting spins, control-only joins), and
+#      docs/BLOCKING.md verified byte-identical against fresh
+#      --emit-blocking output
 #
 # Any finding exits non-zero.  Optional tools that are not installed are
 # reported as SKIPPED, not failed, so the pipeline works on GCC-only
@@ -59,18 +69,18 @@ fail() {
   FAILURES=$((FAILURES + 1))
 }
 
-step "1/14 configure + build, -Werror (relwithdebinfo)"
+step "1/15 configure + build, -Werror (relwithdebinfo)"
 cmake --preset relwithdebinfo >/dev/null &&
   cmake --build --preset relwithdebinfo "$JOBS" ||
   fail "-Werror build"
 
-step "2/14 full suite under ASan+UBSan (Debug; DCHECK contracts live)"
+step "2/15 full suite under ASan+UBSan (Debug; DCHECK contracts live)"
 cmake --preset asan-ubsan >/dev/null &&
   cmake --build --preset asan-ubsan "$JOBS" &&
   ctest --preset asan-ubsan "$JOBS" -LE "fuzz_smoke|chaos|model" ||
   fail "asan-ubsan test suite"
 
-step "3/14 clang-tidy (+ gcc -fanalyzer, informational)"
+step "3/15 clang-tidy (+ gcc -fanalyzer, informational)"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake --build build-relwithdebinfo --target tidy || fail "clang-tidy"
 else
@@ -88,51 +98,52 @@ else
   echo "SKIPPED: gcc -fanalyzer target unavailable (needs GCC >= 12)"
 fi
 
-step "4/14 cppcheck"
+step "4/15 cppcheck"
 if command -v cppcheck >/dev/null 2>&1; then
   cmake --build build-relwithdebinfo --target cppcheck || fail "cppcheck"
 else
   echo "SKIPPED: cppcheck not installed"
 fi
 
-step "5/14 protocol lint (tools/ccvc_lint.py)"
+step "5/15 protocol lint (tools/ccvc_lint.py)"
 python3 tools/ccvc_lint.py --root "$PWD" --compiler "${CXX:-c++}" ||
   fail "ccvc_lint"
 
-step "6/14 fuzz smoke (sanitized, seed corpus + 20k runs each)"
+step "6/15 fuzz smoke (sanitized, seed corpus + 20k runs each)"
 ctest --preset asan-ubsan -L fuzz_smoke || fail "fuzz smoke"
 
-step "7/14 chaos property suite (sanitized fault injection + recovery)"
+step "7/15 chaos property suite (sanitized fault injection + recovery)"
 ctest --preset asan-ubsan "$JOBS" -L chaos || fail "chaos suite"
 
-step "8/14 bench pipeline smoke + BENCH_results.json schema check"
+step "8/15 bench pipeline smoke + BENCH_results.json schema check"
 cmake --build build-relwithdebinfo "$JOBS" --target bench_main >/dev/null &&
   python3 tools/bench_report.py --build-dir build-relwithdebinfo \
     --mode smoke --output "$(mktemp -t bench_smoke.XXXXXX.json)" &&
-  python3 tools/bench_report.py --check BENCH_results.json ||
+  python3 tools/bench_report.py --check BENCH_results.json &&
+  python3 tools/bench_report.py --check-trajectory BENCH_trajectory.json ||
   fail "bench pipeline"
 
-step "9/14 bounded model checking (ccvc_mc + model-label tests)"
+step "9/15 bounded model checking (ccvc_mc + model-label tests)"
 cmake --build build-relwithdebinfo "$JOBS" --target ccvc_mc model_tests \
     >/dev/null &&
   ./build-relwithdebinfo/src/analysis/ccvc_mc all &&
   ctest --test-dir build-relwithdebinfo "$JOBS" -L model ||
   fail "model checking"
 
-step "10/14 wire-schema gate (ccvc_schema --check + schema-label tests)"
+step "10/15 wire-schema gate (ccvc_schema --check + schema-label tests)"
 cmake --build build-relwithdebinfo "$JOBS" --target ccvc_schema wire_tests \
     >/dev/null &&
   ./build-relwithdebinfo/src/analysis/ccvc_schema --check --root "$PWD" &&
   ctest --test-dir build-relwithdebinfo "$JOBS" -L schema ||
   fail "wire-schema gate"
 
-step "11/14 cross-TU dataflow gate (ccvc_sa --check + mutation corpus)"
+step "11/15 cross-TU dataflow gate (ccvc_sa --check + mutation corpus)"
 python3 tools/ccvc_sa --check --root "$PWD" &&
   sh tools/sa_mutation.sh "$PWD" python3 &&
   ctest --test-dir build-relwithdebinfo "$JOBS" -L sa ||
   fail "ccvc_sa gate"
 
-step "12/14 failover under TSan (hot-standby promotion + chaos sweep)"
+step "12/15 failover under TSan (hot-standby promotion + chaos sweep)"
 cmake --preset tsan >/dev/null &&
   cmake --build --preset tsan "$JOBS" \
     --target engine_tests chaos_tests scenario_player >/dev/null &&
@@ -140,21 +151,27 @@ cmake --preset tsan >/dev/null &&
     -R "Failover|HotStandby|scenario_chaos_failover" ||
   fail "tsan failover"
 
-step "13/14 threaded runtime under TSan (equivalence + chaos sweep)"
+step "13/15 threaded runtime under TSan (equivalence + chaos sweep)"
 cmake --build --preset tsan "$JOBS" --target runtime_tests >/dev/null &&
   ctest --test-dir build-tsan "$JOBS" -L runtime ||
   fail "tsan threaded runtime"
 
-step "14/14 concurrency-discipline & budget gates (ownership, atomics, hot path)"
-python3 tools/ccvc_sa --check --root "$PWD" --checker single-writer &&
-  python3 tools/ccvc_sa --check --root "$PWD" --checker atomics-order &&
-  python3 tools/ccvc_sa --check --root "$PWD" --checker hot-path-budget &&
+step "14/15 concurrency-discipline & budget gates (ownership, atomics, hot path)"
+python3 tools/ccvc_sa --check --root "$PWD" \
+    --checker single-writer,atomics-order,hot-path-budget &&
   python3 tools/ccvc_sa --emit-atomics --root "$PWD" |
     diff -u docs/ATOMICS.md - &&
   python3 tools/ccvc_sa --emit-hotpath --root "$PWD" |
     diff -u docs/HOTPATH.md - &&
   python3 tests/sa/sa_selftest.py --root "$PWD" ||
   fail "concurrency-discipline gates"
+
+step "15/15 blocking-graph & liveness gates (wait-for graph, BLOCKING.md)"
+python3 tools/ccvc_sa --check --root "$PWD" \
+    --checker blocking-graph,liveness-discipline &&
+  python3 tools/ccvc_sa --emit-blocking --root "$PWD" |
+    diff -u docs/BLOCKING.md - ||
+  fail "blocking-graph gates"
 
 printf '\n'
 if [ "$FAILURES" -ne 0 ]; then

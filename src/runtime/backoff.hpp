@@ -11,15 +11,19 @@ namespace ccvc::runtime {
 
 class Backoff {
  public:
+  // Pauses 1..kSpinLimit-1 yield; from kSpinLimit on, sleep (50 us).
+  static constexpr int kSpinLimit = 64;
+
   void pause() {
     ++spins_;
-    if (spins_ < 64) {
+    if (spins_ < kSpinLimit) {
       std::this_thread::yield();
     } else {
       std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
   }
   void reset() { spins_ = 0; }
+  int spins() const { return spins_; }
 
  private:
   // Every Backoff instance is a function-local on one thread's stack —

@@ -70,13 +70,17 @@ std::uint64_t NotifierPipeline::committed() const {
 }
 
 std::uint64_t NotifierPipeline::submit(SiteId from, net::Payload bytes) {
+  // A rising submitted_ can only falsify drained(); no sleeping waiter's
+  // predicate turns true, so no notify is needed here.
   const std::uint64_t ticket =
-      submitted_.fetch_add(1, std::memory_order_acq_rel);
+      submitted_.fetch_add(1, std::memory_order_acq_rel);  // ccvc-sa: allow(liveness-discipline)
   CCVC_METRIC_COUNT("runtime.ingress.submitted", 1);
   RawItem item{ticket, from, std::move(bytes)};
   BoundedRing<RawItem>& ring = *shard_rings_[from % pcfg_.num_shards];
   Backoff bo;
-  while (!ring.try_push(std::move(item))) bo.pause();
+  // Space always reappears: shutdown orders drain() before stop_, so the
+  // ingress consumer outlives every producer spin (docs/BLOCKING.md).
+  while (!ring.try_push(std::move(item))) bo.pause();  // ccvc-sa: allow(liveness-discipline)
   return ticket;
 }
 
@@ -94,7 +98,9 @@ void NotifierPipeline::shard_loop(std::size_t shard) {
           engine::NotifierSite::parse_uplink(raw.from, raw.bytes, cfg_);
       CCVC_METRIC_HIST("runtime.stage.ingress_us", wall_us_since(t0));
       Backoff push_bo;
-      while (!central_.try_push(std::move(item))) push_bo.pause();
+      // The transform consumer drains central_ until stop_, which
+      // shutdown orders after drain() — the spin always makes progress.
+      while (!central_.try_push(std::move(item))) push_bo.pause();  // ccvc-sa: allow(liveness-discipline)
       continue;
     }
     if (stop_.load(std::memory_order_acquire)) return;
@@ -184,11 +190,13 @@ void NotifierPipeline::commit(engine::NotifierSite::ParsedUplink parsed) {
   CCVC_METRIC_COUNT("runtime.commits", 1);
   CCVC_METRIC_HIST("runtime.stage.commit_us", wall_us_since(t0));
   committed_.fetch_add(1, std::memory_order_acq_rel);
+  notify_drain();  // committed_ is a drain predicate — wake a pending drain()
 }
 
 void NotifierPipeline::on_broadcast(SiteId dest, net::Payload bytes) {
   // Runs on the transform thread, inside apply_uplink's broadcast loop.
-  pending_batched_.fetch_add(1, std::memory_order_acq_rel);
+  // A rising pending_batched_ can only falsify drained() — no notify.
+  pending_batched_.fetch_add(1, std::memory_order_acq_rel);  // ccvc-sa: allow(liveness-discipline)
   if (assemblers_[dest].add(std::move(bytes))) flush_dest(dest);
 }
 
@@ -196,11 +204,16 @@ void NotifierPipeline::flush_dest(SiteId dest) {
   const std::int64_t n = static_cast<std::int64_t>(assemblers_[dest].size());
   EgressItem item{dest, assemblers_[dest].flush()};
   // inflight rises before pending falls so drained() never observes a
-  // frame that is in neither count.
-  egress_inflight_.fetch_add(1, std::memory_order_acq_rel);
-  pending_batched_.fetch_sub(n, std::memory_order_acq_rel);
+  // frame that is in neither count: the inflight rise only falsifies
+  // drained(), and the pending fall cannot make it true while the frame
+  // it moved is still inflight — neither write needs a notify (the
+  // egress thread notifies after the matching inflight decrement).
+  egress_inflight_.fetch_add(1, std::memory_order_acq_rel);  // ccvc-sa: allow(liveness-discipline)
+  pending_batched_.fetch_sub(n, std::memory_order_acq_rel);  // ccvc-sa: allow(liveness-discipline)
   Backoff bo;
-  while (!egress_ring_.try_push(std::move(item))) bo.pause();
+  // The egress consumer outlives every transform-side producer spin
+  // (stop_ is ordered after drain(); docs/BLOCKING.md).
+  while (!egress_ring_.try_push(std::move(item))) bo.pause();  // ccvc-sa: allow(liveness-discipline)
 }
 
 void NotifierPipeline::flush_all() {

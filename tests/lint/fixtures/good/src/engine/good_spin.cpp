@@ -1,0 +1,15 @@
+// Near-miss for raw-blocking-call: a spin WITH a body — the sanctioned
+// Backoff idiom — must not be flagged (the rule only rejects
+// empty-body spins and raw sleep/yield).
+#include <atomic>
+
+#include "runtime/backoff.hpp"
+
+namespace ccvc::engine {
+
+void good_spin(std::atomic<int>& flag) {
+  runtime::Backoff bo;
+  while (!flag.load(std::memory_order_acquire)) bo.pause();
+}
+
+}  // namespace ccvc::engine

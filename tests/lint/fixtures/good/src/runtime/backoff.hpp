@@ -1,0 +1,26 @@
+// The carve-out file: runtime::Backoff is the one sanctioned home for
+// sleep_for/yield, so the raw-blocking-call rule must skip this path.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+namespace ccvc::runtime {
+
+class Backoff {
+ public:
+  void pause() {
+    ++spins_;
+    if (spins_ < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  void reset() { spins_ = 0; }
+
+ private:
+  int spins_ = 0;
+};
+
+}  // namespace ccvc::runtime

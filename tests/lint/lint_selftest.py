@@ -43,6 +43,7 @@ EXPECTED_BAD = {
     "doc-xref": 1,
     "hand-rolled-codec": 1,
     "determinism": 3,
+    "raw-blocking-call": 2,
     "schema-doc-table": 1,
 }
 

@@ -1,0 +1,51 @@
+// Unit suite for runtime::Backoff — the one sanctioned waiting
+// primitive (ccvc_lint raw-blocking-call).  Correctness never depends
+// on timing, so the assertions pin the policy shape, not durations:
+// spin counter progression, the yield→sleep handoff at kSpinLimit, and
+// reset() re-arming the cheap phase.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "runtime/backoff.hpp"
+
+namespace {
+
+using ccvc::runtime::Backoff;
+
+TEST(Backoff, CounterProgressesByOnePerPause) {
+  Backoff bo;
+  EXPECT_EQ(bo.spins(), 0);
+  for (int i = 1; i <= Backoff::kSpinLimit - 1; ++i) {
+    bo.pause();
+    EXPECT_EQ(bo.spins(), i);
+  }
+}
+
+TEST(Backoff, SleepPhaseStartsAtSpinLimit) {
+  // The pause that takes the counter to kSpinLimit is the first sleep:
+  // sleep_for guarantees *at least* the requested 50us, so a lower
+  // bound on elapsed time distinguishes it from a yield, which has no
+  // minimum.  Run the cheap phase first, then time one sleeping pause.
+  Backoff bo;
+  for (int i = 0; i < Backoff::kSpinLimit - 1; ++i) bo.pause();
+  const auto t0 = std::chrono::steady_clock::now();
+  bo.pause();  // spins_ reaches kSpinLimit -> sleeps
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(bo.spins(), Backoff::kSpinLimit);
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count(),
+            40);
+}
+
+TEST(Backoff, ResetRearmsTheCheapPhase) {
+  Backoff bo;
+  for (int i = 0; i < Backoff::kSpinLimit + 5; ++i) bo.pause();
+  EXPECT_GT(bo.spins(), Backoff::kSpinLimit);
+  bo.reset();
+  EXPECT_EQ(bo.spins(), 0);
+  bo.pause();
+  EXPECT_EQ(bo.spins(), 1);  // back in the yield phase
+}
+
+}  // namespace

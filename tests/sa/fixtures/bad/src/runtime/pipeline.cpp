@@ -7,12 +7,22 @@
 //   * flag_.store(1)   atomic op with a defaulted order (atomics-order);
 //   * tmp.push_back    allocation on the submit path (hot-path-budget;
 //                      the staged HOTPATH.md is generated from this
-//                      tree, so only the op finding fires, not drift).
+//                      tree, so only the op finding fires, not drift);
+//   * out_ring_ spin   a capacity wait on the egress closure — the
+//                      edge-absence assertion the unbounded-inbox rule
+//                      compiles to (blocking-graph), and a spin that
+//                      consults no termination flag (liveness #1);
+//   * go_ spin         a flag wait whose flag nothing ever writes, so
+//                      no shutdown()/drain() can cancel it (liveness #2).
 #include <atomic>
 #include <cstdint>
 #include <vector>
 
 namespace fx {
+
+struct OutRing {
+  bool try_push(int v);
+};
 
 class NotifierPipeline {
  public:
@@ -25,6 +35,8 @@ class NotifierPipeline {
  private:
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<int> flag_{0};
+  std::atomic<int> go_{0};
+  OutRing out_ring_;
   int shared_counter_ = 0;
 };
 
@@ -41,10 +53,21 @@ void NotifierPipeline::shard_loop(std::size_t shard) {
 void NotifierPipeline::transform_loop() {
   ++shared_counter_;
   flag_.store(1);
+  // Flag wait on go_, which nothing in the tree ever writes: the spin
+  // is uncancellable (liveness-discipline, spin-no-stop).
+  while (!go_.load(std::memory_order_acquire)) {
+  }
 }
 
 void NotifierPipeline::on_broadcast(int dest) { (void)dest; }
 
-void NotifierPipeline::egress_loop() {}
+void NotifierPipeline::egress_loop() {
+  // Capacity wait attributed to the egress closure: violates the
+  // edge-absence assertion (blocking-graph, egress-blocks) AND consults
+  // no termination flag (liveness-discipline, spin-no-stop).
+  int item = 0;
+  while (!out_ring_.try_push(item)) {
+  }
+}
 
 }  // namespace fx

@@ -48,12 +48,15 @@ EXPECTED_BAD = {
     "single-writer": 1,
     "atomics-order": 1,
     "hot-path-budget": 1,
+    "blocking-graph": 1,       # capacity wait on the egress closure
+    "liveness-discipline": 2,  # spin w/o stop flag ×2 (egress + go_)
 }
 
 EMIT_DOCS = {
     "--emit-concurrency": "CONCURRENCY.md",
     "--emit-atomics": "ATOMICS.md",
     "--emit-hotpath": "HOTPATH.md",
+    "--emit-blocking": "BLOCKING.md",
 }
 
 

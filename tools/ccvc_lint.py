@@ -78,6 +78,15 @@ Enforces invariants generic tools cannot express:
                      debugging and the bench suite's run-to-run
                      comparability.
 
+  raw-blocking-call  Outside src/runtime/backoff.hpp, src/ must not
+                     call std::this_thread::sleep_for/yield or
+                     hand-roll an empty-body atomic spin loop.  Every
+                     wait goes through runtime::Backoff so the
+                     spin→yield→sleep policy (and the blocking-graph
+                     checker's classification of waits) stays in one
+                     audited place; a raw sleep is an invisible
+                     latency cliff and a bare spin burns a core.
+
   schema-doc-table   The generated table in docs/PROTOCOL.md §2.0
                      (between the ccvc_schema:doc-table markers) must
                      match a re-derivation from docs/schema.json.  The
@@ -114,6 +123,7 @@ RULES = (
     "doc-xref",
     "hand-rolled-codec",
     "determinism",
+    "raw-blocking-call",
     "schema-doc-table",
 )
 
@@ -203,6 +213,15 @@ DETERMINISM_RE = re.compile(
     r"|std::mt19937(?:_64)?\s+\w+\s*(?:;|\{\s*\})"
     r"|std::mt19937(?:_64)?\s*(?:\(\s*\)|\{\s*\})"
 )
+# Raw blocking primitives: only runtime::Backoff (src/runtime/
+# backoff.hpp) may sleep or yield; everything else waits through it.
+RAW_BLOCKING_RE = re.compile(r"std::this_thread::(?:sleep_for|yield)\b")
+# An empty-body spin on an atomic load, single line: `while (...)`
+# whose header (one nesting level of parens tolerated) contains .load
+# and whose body is `;` or `{}`.  `while (...) bo.pause();` — a body —
+# deliberately does not match: that is the sanctioned Backoff idiom.
+RAW_SPIN_RE = re.compile(
+    r"while\s*\(((?:[^()]|\([^()]*\))*)\)\s*(?:;|\{\s*\})\s*$")
 DOC_TABLE_BEGIN = "<!-- ccvc_schema:doc-table:begin -->"
 DOC_TABLE_END = "<!-- ccvc_schema:doc-table:end -->"
 
@@ -303,6 +322,17 @@ class Linter:
                                 "raw varint/string codec call outside "
                                 "src/wire/ — encode through wire::Writer/"
                                 "wire::Reader against a schema FieldDesc")
+
+            if rel != "src/runtime/backoff.hpp":
+                spin = RAW_SPIN_RE.search(line)
+                if (RAW_BLOCKING_RE.search(line)
+                        or (spin and ".load" in spin.group(1))):
+                    if "raw-blocking-call" not in allowed:
+                        self.report(path, lineno, "raw-blocking-call",
+                                    "raw sleep/yield or bare atomic spin "
+                                    "— wait through runtime::Backoff "
+                                    "(src/runtime/backoff.hpp) so backoff "
+                                    "policy stays in one audited place")
 
             if (not rel.startswith("src/util/rng.")
                     and DETERMINISM_RE.search(line)):

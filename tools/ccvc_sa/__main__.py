@@ -1,11 +1,16 @@
 """ccvc_sa — cross-TU static analysis gate for the CCVC tree.
 
 Usage:
-  python3 tools/ccvc_sa --check [--root DIR] [--checker NAME]
+  python3 tools/ccvc_sa --check [--root DIR] [--checker A,B,...] [--json]
   python3 tools/ccvc_sa --emit-concurrency [--root DIR]
   python3 tools/ccvc_sa --emit-atomics [--root DIR]
   python3 tools/ccvc_sa --emit-hotpath [--root DIR]
+  python3 tools/ccvc_sa --emit-blocking [--root DIR]
   python3 tools/ccvc_sa --list
+
+The source tree is lexed and parsed ONCE per invocation (build_model);
+all checkers and emitters share the resulting sa_model, so grouping
+checkers into one run (`--checker a,b,c`) amortizes the parse.
 
 Exit codes (matching ccvc_lint): 0 clean, 1 findings or dead
 suppressions, 2 usage/configuration error.
@@ -17,8 +22,10 @@ a new module plus one import below (recipe in docs/ANALYSIS.md).
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
+import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
@@ -31,6 +38,7 @@ import check_shared_state                          # noqa: E402,F401
 import check_single_writer                         # noqa: E402,F401
 import check_atomics_order                         # noqa: E402,F401
 import check_hot_path                              # noqa: E402,F401
+import check_blocking                              # noqa: E402,F401
 
 
 def main(argv: list[str]) -> int:
@@ -40,14 +48,20 @@ def main(argv: list[str]) -> int:
     ap.add_argument("--check", action="store_true",
                     help="run all checkers against the baseline")
     ap.add_argument("--checker", default=None,
-                    help="restrict --check to one checker (no dead-"
-                         "suppression validation in this mode)")
+                    help="restrict --check to a comma-separated subset "
+                         "of checkers (no dead-suppression validation "
+                         "in this mode)")
+    ap.add_argument("--json", action="store_true",
+                    help="with --check: emit findings as JSON for CI "
+                         "consumption instead of human-readable lines")
     ap.add_argument("--emit-concurrency", action="store_true",
                     help="print the shared-state inventory markdown")
     ap.add_argument("--emit-atomics", action="store_true",
                     help="print the memory-order inventory markdown")
     ap.add_argument("--emit-hotpath", action="store_true",
                     help="print the hot-path budget markdown")
+    ap.add_argument("--emit-blocking", action="store_true",
+                    help="print the blocking-graph inventory markdown")
     ap.add_argument("--list", action="store_true",
                     help="list registered checkers")
     args = ap.parse_args(argv)
@@ -64,7 +78,9 @@ def main(argv: list[str]) -> int:
         print(f"ccvc_sa: no src/ under {root}", file=sys.stderr)
         return 2
 
+    t0 = time.monotonic()
     model = build_model(root)
+    parse_ms = (time.monotonic() - t0) * 1000.0
     xref = sa_schema.load_xref(root)
     ctx = sa_engine.Context(root=root, xref=xref)
 
@@ -77,6 +93,9 @@ def main(argv: list[str]) -> int:
     if args.emit_hotpath:
         sys.stdout.write(check_hot_path.emit_hotpath(model))
         return 0
+    if args.emit_blocking:
+        sys.stdout.write(check_blocking.emit_blocking(model))
+        return 0
 
     if not args.check:
         ap.print_help()
@@ -84,13 +103,32 @@ def main(argv: list[str]) -> int:
 
     baseline = pathlib.Path(__file__).resolve().parent / "baseline.txt"
     res = sa_engine.run(model, ctx, baseline, only=args.checker)
+    wanted = ({s.strip() for s in args.checker.split(",") if s.strip()}
+              if args.checker else None)
+    n_checkers = len([1 for n, _ in sa_engine.CHECKERS
+                      if wanted is None or n in wanted])
+    if args.json:
+        doc = {
+            "schema": "ccvc-sa-findings/1",
+            "functions": len(model.funcs),
+            "checkers": n_checkers,
+            "parse_ms": round(parse_ms, 1),
+            "findings": [{"checker": f.checker, "file": f.file,
+                          "line": f.line, "key": f.key, "msg": f.msg}
+                         for f in res.findings],
+            "suppressed": len(res.suppressed),
+            "errors": res.errors,
+            "ok": res.ok,
+        }
+        json.dump(doc, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0 if res.ok else 1
     for f in res.findings:
         print(f.render())
     for e in res.errors:
         print(f"error: {e}")
-    n_checkers = len([1 for n, _ in sa_engine.CHECKERS
-                      if not args.checker or n == args.checker])
-    print(f"ccvc_sa: {len(model.funcs)} functions, {n_checkers} checkers, "
+    print(f"ccvc_sa: {len(model.funcs)} functions "
+          f"(parsed once in {parse_ms:.0f} ms), {n_checkers} checkers, "
           f"{len(res.findings)} finding(s), {len(res.suppressed)} "
           f"suppressed, {len(res.errors)} error(s)")
     return 0 if res.ok else 1

@@ -97,9 +97,20 @@ class RunResult:
 
 def run(model, ctx: Context, baseline_path: pathlib.Path,
         only: str | None = None) -> RunResult:
+    # `only` is a comma-separated subset of checker names; an unknown
+    # name is a configuration error, not a silent no-op run.
+    wanted: set[str] | None = None
+    if only:
+        wanted = {s.strip() for s in only.split(",") if s.strip()}
+        known = {name for name, _ in CHECKERS}
+        unknown = sorted(wanted - known)
+        if unknown:
+            return RunResult(findings=[], suppressed=[],
+                             errors=[f"unknown checker(s): "
+                                     f"{', '.join(unknown)}"])
     raw: list[Finding] = []
     for name, fn in CHECKERS:
-        if only and name != only:
+        if wanted is not None and name not in wanted:
             continue
         raw.extend(fn(model, ctx))
     raw.sort(key=lambda f: (f.file, f.line, f.checker, f.key))

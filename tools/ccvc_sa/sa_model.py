@@ -147,6 +147,48 @@ class Model:
                     vis.update(IDENT_SCAN_RE.findall(m.decl))
         return vis
 
+    def typed_callees(self, fn: "Func",
+                      calls: set[str] | None = None) -> set[str]:
+        """Qualified names of `fn`'s callees under the type-visibility
+        filter reachable_typed uses (free functions always; methods only
+        when their class is visible at the caller).  `calls` overrides
+        fn.calls — used where a caller's lambda bodies are attributed to
+        other threads and must not contribute edges."""
+        vis = self.visible_types(fn)
+        out: set[str] = set()
+        for callee in (fn.calls if calls is None else calls):
+            for g in self.by_name.get(callee, ()):
+                if g.cls is None or g.cls == fn.cls or g.cls in vis:
+                    out.add(g.qual)
+        return out
+
+    def propagate_summaries(
+            self, direct: dict[str, frozenset]) -> dict[str, set]:
+        """Call-summary propagation over the type-refined call graph:
+        summary(f) = direct(f) ∪ ⋃ summary(g) for every typed callee g.
+        Fixpoint by repeated passes (the graph is small and cyclic call
+        chains must converge, so a worklist buys nothing here).  This is
+        how a fact like *blocks* travels up the call graph — a function
+        is blocking iff its summary is non-empty, even when the
+        primitive is buried N calls deep (check_blocking relies on it)."""
+        edges: dict[str, set[str]] = {}
+        summaries: dict[str, set] = {}
+        for fn in self.funcs:
+            summaries.setdefault(fn.qual, set()).update(
+                direct.get(fn.qual, ()))
+            edges.setdefault(fn.qual, set()).update(self.typed_callees(fn))
+        changed = True
+        while changed:
+            changed = False
+            for q, outs in edges.items():
+                s = summaries[q]
+                before = len(s)
+                for c in outs:
+                    s |= summaries.get(c, set())
+                if len(s) != before:
+                    changed = True
+        return summaries
+
     def reachable_typed(self, roots: list[str]) -> set[str]:
         """Like reachable(), but a call edge to a *method* requires the
         method's class to be type-visible at the caller (same class,

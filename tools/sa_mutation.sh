@@ -13,6 +13,14 @@
 #   7. memory order changed under a stale ATOMICS.md (atomics drift)
 #   8. allocation seeded into the submit hot path + stale HOTPATH.md
 #                                                  (hot-path-budget)
+#   9. client inboxes made bounded: the documented 5-edge cycle closes
+#      and must surface as a blocking-graph cycle finding
+#  10. a spin seeded under drain_mu_ (hold-and-wait) — lock-order
+#      inversion closing a control/transform/egress cycle
+#  11. commit()'s drain notify deleted: a predicate write without a
+#      notify on the cv                       (liveness-discipline)
+#  12. a flag spin whose flag nothing writes  (liveness-discipline)
+#  13. stale BLOCKING.md under an unchanged tree   (blocking drift)
 #
 # This is the self-validation the framework's approximations lean on:
 # a lexer or extractor regression that blinds a checker turns up here
@@ -34,6 +42,7 @@ stage() {
   cp "$ROOT/docs/CONCURRENCY.md" "$TMP/docs/CONCURRENCY.md"
   cp "$ROOT/docs/ATOMICS.md" "$TMP/docs/ATOMICS.md"
   cp "$ROOT/docs/HOTPATH.md" "$TMP/docs/HOTPATH.md"
+  cp "$ROOT/docs/BLOCKING.md" "$TMP/docs/BLOCKING.md"
 }
 
 run_sa() {
@@ -187,5 +196,80 @@ fi
 expect_findings "allocation on the submit hot path" 2 \
   "hot-path-budget.*submit.*bytes.push_back" \
   "hot-path-budget.*HOTPATH.md does not match"
+
+# Mutation 9 (blocking-graph, the headline case): client inboxes made
+# bounded.  The push side gains a capacity wait, which (a) closes the
+# documented client → rings → egress → inbox cycle, (b) violates the
+# egress edge-absence assertion, (c) consults no stop flag, and (d)
+# leaves the committed BLOCKING.md stale.
+stage
+sed 's/frames.push_back(std::move(frame));/Backoff bo;\n    while (frames.size() >= 8) bo.pause();\n    frames.push_back(std::move(frame));/' \
+  "$TMP/src/runtime/threaded_star.cpp" > "$TMP/src/runtime/threaded_star.cpp.new"
+mv "$TMP/src/runtime/threaded_star.cpp.new" "$TMP/src/runtime/threaded_star.cpp"
+if ! grep -q 'frames.size() >= 8' "$TMP/src/runtime/threaded_star.cpp"; then
+  echo "FAIL: mutation 9 seed did not apply (Inbox::push moved?)" >&2
+  exit 1
+fi
+expect_findings "bounded client inboxes close the 5-edge cycle" 4 \
+  "blocking-graph.*blocking cycle among thread closures" \
+  "blocking-graph.*egress.*closure a capacity wait" \
+  "liveness-discipline.*consults no termination flag" \
+  "blocking-graph.*BLOCKING.md does not match"
+
+# Mutation 10 (blocking-graph, hold-and-wait): a spin seeded under
+# drain_mu_ in notify_drain() — the mutex is now held across a wait, so
+# its other acquirers (drain on control) become wait-for targets and
+# the control → transform/egress cv edges close into a cycle.
+stage
+sed 's/const std::lock_guard<std::mutex> lock(drain_mu_);/const std::lock_guard<std::mutex> lock(drain_mu_);\n    Backoff hb;\n    while (egress_inflight_.load(std::memory_order_acquire) != 0) hb.pause();/' \
+  "$TMP/src/runtime/pipeline.cpp" > "$TMP/src/runtime/pipeline.cpp.new"
+mv "$TMP/src/runtime/pipeline.cpp.new" "$TMP/src/runtime/pipeline.cpp"
+if ! grep -q 'Backoff hb;' "$TMP/src/runtime/pipeline.cpp"; then
+  echo "FAIL: mutation 10 seed did not apply (notify_drain moved?)" >&2
+  exit 1
+fi
+# Three findings: the cycle, the stale BLOCKING.md, and — because the
+# seeded spin is itself a new atomic load — a stale ATOMICS.md.
+expect_findings "hold-and-wait under drain_mu_ closes a cycle" 3 \
+  "blocking-graph.*blocking cycle among thread closures" \
+  "blocking-graph.*BLOCKING.md does not match" \
+  "atomics-order.*ATOMICS.md does not match"
+
+# Mutation 11 (liveness-discipline): commit()'s drain notify deleted —
+# committed_ is a drain() predicate variable, so its writer must reach
+# a notify on drain_cv_.
+stage
+sed '/committed_ is a drain predicate/d' \
+  "$TMP/src/runtime/pipeline.cpp" > "$TMP/src/runtime/pipeline.cpp.new"
+mv "$TMP/src/runtime/pipeline.cpp.new" "$TMP/src/runtime/pipeline.cpp"
+if grep -q 'committed_ is a drain predicate' "$TMP/src/runtime/pipeline.cpp"; then
+  echo "FAIL: mutation 11 seed did not apply (commit moved?)" >&2
+  exit 1
+fi
+expect_findings "predicate write without notify" 1 \
+  "liveness-discipline.*committed_.*never reaches a notify"
+
+# Mutation 12 (liveness-discipline): a spin whose flag nothing in the
+# tree ever writes — unreachable from shutdown()/drain().
+stage
+cat >> "$TMP/src/runtime/pipeline.cpp" <<'EOF'
+namespace ccvc::runtime {
+void sa_mutation_spin(std::atomic<int>& v) {
+  Backoff b;
+  while (v.load(std::memory_order_acquire) == 0) b.pause();
+}
+}  // namespace ccvc::runtime
+EOF
+# The seeded load is a new atomic op, so ATOMICS.md drifts alongside.
+expect_findings "spin without a written stop flag" 2 \
+  "liveness-discipline.*sa_mutation_spin.*consults no termination flag" \
+  "atomics-order.*ATOMICS.md does not match"
+
+# Mutation 13 (blocking drift): the tree is untouched but the committed
+# BLOCKING.md is stale — the byte-identical gate must catch it.
+stage
+printf '\nstale trailing line\n' >> "$TMP/docs/BLOCKING.md"
+expect_findings "stale BLOCKING.md" 1 \
+  "blocking-graph.*BLOCKING.md does not match"
 
 echo "sa_mutation: all mutation classes rejected"
